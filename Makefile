@@ -1,0 +1,34 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench repro coverage clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Skips the Monte-Carlo validation suites.
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table/figure report to stdout.
+repro:
+	$(GO) run ./cmd/gsueval -all
+
+coverage:
+	$(GO) test -short -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+
+clean:
+	rm -f coverage.out test_output.txt bench_output.txt

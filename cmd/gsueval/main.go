@@ -1,0 +1,202 @@
+// Command gsueval reproduces the evaluation artefacts of the
+// guarded-operation performability paper: every table and figure of its
+// Section 6, plus the simulation cross-validation.
+//
+// Usage:
+//
+//	gsueval -list
+//	gsueval -experiment fig9
+//	gsueval -all
+//	gsueval -sweep -theta 10000 -munew 1e-4 -coverage 0.95 -alpha 6000 -beta 6000
+//
+// The -sweep mode evaluates Y(φ) on a custom parameter set, printing the
+// curve, the optimal duration, and every constituent measure at the
+// optimum — the workflow a designer would use to pick φ for their own
+// system.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"guardedop/internal/core"
+	"guardedop/internal/experiments"
+	"guardedop/internal/mdcd"
+	"guardedop/internal/textplot"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gsueval:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("gsueval", flag.ContinueOnError)
+	var (
+		list       = fs.Bool("list", false, "list available experiments")
+		experiment = fs.String("experiment", "", "run one experiment by id (see -list)")
+		all        = fs.Bool("all", false, "run every experiment")
+		outDir     = fs.String("out", "", "with -all: also write each report to <dir>/<id>.txt")
+		sweepMode  = fs.Bool("sweep", false, "sweep Y(phi) for a custom parameter set")
+		optimize   = fs.Bool("optimize", false, "with -sweep: also refine the optimal phi continuously (golden-section)")
+		csvOut     = fs.Bool("csv", false, "emit CSV data instead of a text report (figure experiments and -sweep)")
+		points     = fs.Int("points", 10, "number of sweep intervals covering [0, theta]")
+
+		theta    = fs.Float64("theta", 10000, "time to next upgrade (hours)")
+		lambda   = fs.Float64("lambda", 1200, "message-sending rate (1/h)")
+		muNew    = fs.Float64("munew", 1e-4, "fault-manifestation rate of the upgraded version (1/h)")
+		muOld    = fs.Float64("muold", 1e-8, "fault-manifestation rate of old versions (1/h)")
+		coverage = fs.Float64("coverage", 0.95, "acceptance-test coverage c")
+		pExt     = fs.Float64("pext", 0.1, "probability a message is external")
+		alpha    = fs.Float64("alpha", 6000, "AT completion rate (1/h)")
+		beta     = fs.Float64("beta", 6000, "checkpoint completion rate (1/h)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch {
+	case *list:
+		rows := [][]string{{"id", "title"}}
+		for _, e := range experiments.All() {
+			rows = append(rows, []string{e.ID, e.Title})
+		}
+		fmt.Print(textplot.Table(rows))
+		return nil
+
+	case *all:
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				return err
+			}
+		}
+		for i, e := range experiments.All() {
+			if i > 0 {
+				fmt.Printf("\n%s\n\n", divider)
+			}
+			var w io.Writer = os.Stdout
+			var file *os.File
+			if *outDir != "" {
+				var err error
+				file, err = os.Create(filepath.Join(*outDir, e.ID+".txt"))
+				if err != nil {
+					return err
+				}
+				w = io.MultiWriter(os.Stdout, file)
+			}
+			err := e.Run(w)
+			if file != nil {
+				if cerr := file.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+		}
+		return nil
+
+	case *experiment != "":
+		if *csvOut {
+			curves, err := experiments.CurvesByFigure(*experiment)
+			if err != nil {
+				return fmt.Errorf("%w (-csv supports the figure experiments)", err)
+			}
+			return experiments.WriteCurvesCSV(os.Stdout, curves)
+		}
+		e, ok := experiments.ByID(*experiment)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (use -list)", *experiment)
+		}
+		return e.Run(os.Stdout)
+
+	case *sweepMode:
+		p := mdcd.Params{
+			Theta: *theta, Lambda: *lambda, MuNew: *muNew, MuOld: *muOld,
+			Coverage: *coverage, PExt: *pExt, Alpha: *alpha, Beta: *beta,
+		}
+		return sweep(p, *points, *optimize, *csvOut)
+
+	default:
+		fs.Usage()
+		return fmt.Errorf("choose one of -list, -experiment, -all, -sweep")
+	}
+}
+
+const divider = "================================================================"
+
+func sweep(p mdcd.Params, points int, refine, csvOut bool) error {
+	a, err := core.NewAnalyzer(p)
+	if err != nil {
+		return err
+	}
+	if csvOut {
+		phis := core.SweepGrid(p.Theta, points)
+		results, err := a.Curve(phis)
+		if err != nil {
+			return err
+		}
+		c := experiments.Curve{Label: "sweep", Params: p, Phis: phis, Results: results}
+		return experiments.WriteResultsCSV(os.Stdout, c)
+	}
+	rho1, rho2 := a.Rho()
+	fmt.Printf("parameters: %+v\n", p)
+	fmt.Printf("derived overhead parameters: rho1 = %.4f, rho2 = %.4f\n\n", rho1, rho2)
+
+	phis := core.SweepGrid(p.Theta, points)
+	results, err := a.Curve(phis)
+	if err != nil {
+		return err
+	}
+	rows := [][]string{{"phi", "Y", "E[W_phi]", "Y^S1", "Y^S2", "gamma", "P(S1)"}}
+	best := results[0]
+	var ys []float64
+	for _, r := range results {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f", r.Phi),
+			fmt.Sprintf("%.4f", r.Y),
+			fmt.Sprintf("%.1f", r.EWPhi),
+			fmt.Sprintf("%.1f", r.YS1),
+			fmt.Sprintf("%.1f", r.YS2),
+			fmt.Sprintf("%.4f", r.Gamma),
+			fmt.Sprintf("%.4f", r.PS1),
+		})
+		ys = append(ys, r.Y)
+		if r.Y > best.Y {
+			best = r
+		}
+	}
+	fmt.Print(textplot.Table(rows))
+	fmt.Println()
+	fmt.Print(textplot.Chart("Y vs phi", phis, []textplot.Series{{Name: "Y", Y: ys}}, 66, 14))
+	fmt.Println()
+	fmt.Printf("optimal phi (grid) = %.0f with Y = %.4f\n", best.Phi, best.Y)
+	if refine {
+		refined, err := a.OptimizePhi(core.OptimizeOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("optimal phi (continuous) = %.0f with Y = %.4f\n", refined.Phi, refined.Y)
+		best = refined
+	}
+	if best.Y <= 1 {
+		fmt.Println("note: max Y <= 1 — guarded operation does not pay off under these parameters.")
+	}
+	fmt.Println("\nconstituent measures at the optimum:")
+	fmt.Print(textplot.Table([][]string{
+		{"measure", "value"},
+		{"P(X'_phi in A'_1)", fmt.Sprintf("%.6f", best.Gd.PA1)},
+		{"int h", fmt.Sprintf("%.6f", best.Gd.IntH)},
+		{"int tau*h", fmt.Sprintf("%.2f", best.Gd.IntTauH)},
+		{"int int h*f", fmt.Sprintf("%.3e", best.Gd.IntHF)},
+		{"P(X''_theta in A''_1)", fmt.Sprintf("%.6f", best.PNoFailNewTheta)},
+		{"P(X''_(theta-phi) in A''_1)", fmt.Sprintf("%.6f", best.PNoFailNewRem)},
+		{"int_phi^theta f", fmt.Sprintf("%.3e", best.IntF)},
+	}))
+	return nil
+}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture redirects stdout around fn and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 0, 1<<16)
+		tmp := make([]byte, 4096)
+		for {
+			n, err := r.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(buf)
+	}()
+	runErr := fn()
+	w.Close()
+	out := <-done
+	return out, runErr
+}
+
+func TestRunList(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-list"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig9", "fig12", "table2", "valsim", "sensitivity"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-experiment", "table3"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "10000") || !strings.Contains(out, "1200") {
+		t.Errorf("table3 output incomplete:\n%s", out)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := capture(t, func() error { return run([]string{"-experiment", "nope"}) }); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-sweep", "-points", "4", "-theta", "2000"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "optimal phi (grid)") {
+		t.Errorf("sweep output missing optimum:\n%s", out)
+	}
+}
+
+func TestRunSweepCSV(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-sweep", "-csv", "-points", "2", "-theta", "2000"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV rows = %d, want header + 3:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "phi,Y,") {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+}
+
+func TestRunFigureCSV(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-experiment", "fig12", "-csv"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "phi,") {
+		t.Errorf("figure CSV output = %q...", out[:40])
+	}
+}
+
+func TestRunCSVRejectsNonFigure(t *testing.T) {
+	if _, err := capture(t, func() error {
+		return run([]string{"-experiment", "table1", "-csv"})
+	}); err == nil {
+		t.Error("-csv with table experiment accepted")
+	}
+}
+
+func TestRunNoModeErrors(t *testing.T) {
+	if _, err := capture(t, func() error { return run(nil) }); err == nil {
+		t.Error("no mode accepted")
+	}
+}
+
+func TestRunSweepInvalidParams(t *testing.T) {
+	if _, err := capture(t, func() error {
+		return run([]string{"-sweep", "-lambda", "-3"})
+	}); err == nil {
+		t.Error("invalid lambda accepted")
+	}
+}
+
+func TestRunAllWithOutDir(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment incl. Monte-Carlo; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	if _, err := capture(t, func() error { return run([]string{"-all", "-out", dir}) }); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dir + "/fig9.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "optimal phi") {
+		t.Errorf("fig9 report file incomplete:\n%s", data)
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 0, 1<<16)
+		tmp := make([]byte, 4096)
+		for {
+			n, err := r.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(buf)
+	}()
+	runErr := fn()
+	w.Close()
+	out := <-done
+	return out, runErr
+}
+
+func TestRunSmallCustomConfig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo CLI test skipped in -short mode")
+	}
+	out, err := capture(t, func() error { return run([]string{"-paths", "500", "-seed", "7"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Y analytic") {
+		t.Errorf("output missing table header:\n%s", out)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if _, err := capture(t, func() error { return run([]string{"-definitely-not-a-flag"}) }); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,41 @@
+package guardedop_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// The examples are documentation that must not rot: each one is executed
+// end-to-end and its key output line checked. Slow Monte-Carlo examples are
+// skipped under -short.
+func TestExamplesRun(t *testing.T) {
+	cases := []struct {
+		dir   string
+		want  string
+		heavy bool
+	}{
+		{dir: "quickstart", want: "long-run availability"},
+		{dir: "gopduration", want: "optimal duration: phi = 7000"},
+		{dir: "atcoverage", want: "skip G-OP entirely"},
+		{dir: "campaign", want: "campaign-level index"},
+		{dir: "checkpointing", want: "Young's approximation"},
+		{dir: "uncertainty", want: "robust decision", heavy: true},
+		{dir: "validate", want: "rho1: analytic", heavy: true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.dir, func(t *testing.T) {
+			if tc.heavy && testing.Short() {
+				t.Skip("Monte-Carlo example skipped in -short mode")
+			}
+			out, err := exec.Command("go", "run", "./examples/"+tc.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", tc.dir, err, out)
+			}
+			if !strings.Contains(string(out), tc.want) {
+				t.Errorf("example %s output missing %q:\n%s", tc.dir, tc.want, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module guardedop
+
+go 1.22

@@ -1,0 +1,73 @@
+package compose
+
+import (
+	"math"
+	"testing"
+
+	"guardedop/internal/ctmc"
+	"guardedop/internal/reward"
+	"guardedop/internal/san"
+	"guardedop/internal/statespace"
+)
+
+// A larger composed model pushes the solver stack past the dense
+// steady-state threshold and into SOR territory: 11 replicated machines
+// give a few thousand tangible states.
+func TestReplicateLargeModelSolvesAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in -short mode")
+	}
+	const n = 11
+	model, _, err := Replicate("bigshop", n,
+		[]SharedPlaceSpec{{Name: "repairQueue", Initial: 0}},
+		machineTemplate(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := statespace.Generate(model, statespace.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.NumStates() < 1000 {
+		t.Fatalf("expected a large state space, got %d states", sp.NumStates())
+	}
+	t.Logf("states: %d", sp.NumStates())
+
+	// Steady state via the auto solver (SOR at this size) must agree with
+	// the uniformized power method, and replicas must be symmetric.
+	pi, err := sp.Chain.SteadyState(ctmc.SteadyStateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	piPower, err := sp.Chain.SteadyState(ctmc.SteadyStateOptions{Method: ctmc.SteadyPower, Tolerance: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := 0.0
+	for i := range pi {
+		dist += math.Abs(pi[i] - piPower[i])
+	}
+	if dist > 1e-6 {
+		t.Errorf("SOR and power steady states differ by %g in L1", dist)
+	}
+
+	availOf := func(idx int) float64 {
+		up := model.PlaceByName("rep" + string(rune('0'+idx)) + ".up")
+		if up == nil {
+			t.Fatalf("replica %d place missing", idx)
+		}
+		s := reward.NewStructure().Add("up", func(mk san.Marking) bool { return mk.Get(up) == 1 }, 1)
+		v, err := reward.SteadyState(sp, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	a0, a5 := availOf(0), availOf(5)
+	if math.Abs(a0-a5) > 1e-8 {
+		t.Errorf("replica symmetry broken at scale: %v vs %v", a0, a5)
+	}
+	if a0 <= 0.5 || a0 >= 1 {
+		t.Errorf("availability = %v out of plausible range", a0)
+	}
+}

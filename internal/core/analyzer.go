@@ -1,0 +1,228 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"guardedop/internal/mdcd"
+)
+
+// Analyzer evaluates the performability index Y(φ) for one parameter set.
+// It builds the three SAN reward models once and reuses them across φ
+// values; the steady-state overhead measures ρ₁, ρ₂ are φ-independent and
+// solved at construction time.
+type Analyzer struct {
+	params mdcd.Params
+
+	gd    *mdcd.RMGd
+	gp    mdcd.GpMeasures
+	ndNew *mdcd.RMNd // normal mode with the upgraded pair {P1new, P2}
+	ndOld *mdcd.RMNd // normal mode with the recovered pair {P1old, P2}
+
+	pNoFailNewTheta float64 // P(X″_θ ∈ A″₁), cached: it is φ-independent
+}
+
+// Options relaxes model assumptions for ablation studies; the zero value
+// reproduces the paper.
+type Options struct {
+	// RecoverySuccess is the probability that recovery succeeds after a
+	// detection (paper: 1). Zero means 1.
+	RecoverySuccess float64
+}
+
+// NewAnalyzer builds the composite base model for the given parameters
+// under the paper's assumptions.
+func NewAnalyzer(p mdcd.Params) (*Analyzer, error) {
+	return NewAnalyzerWithOptions(p, Options{})
+}
+
+// NewAnalyzerWithOptions builds the composite base model with relaxed
+// assumptions.
+func NewAnalyzerWithOptions(p mdcd.Params, o Options) (*Analyzer, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	gd, err := mdcd.BuildRMGdWithOptions(p, mdcd.GdOptions{RecoverySuccess: o.RecoverySuccess})
+	if err != nil {
+		return nil, fmt.Errorf("core: building RMGd: %w", err)
+	}
+	gp, err := mdcd.BuildRMGp(p)
+	if err != nil {
+		return nil, fmt.Errorf("core: building RMGp: %w", err)
+	}
+	gpm, err := gp.Measures()
+	if err != nil {
+		return nil, fmt.Errorf("core: solving RMGp steady state: %w", err)
+	}
+	ndNew, err := mdcd.BuildRMNd(p, p.MuNew)
+	if err != nil {
+		return nil, fmt.Errorf("core: building RMNd(mu_new): %w", err)
+	}
+	ndOld, err := mdcd.BuildRMNd(p, p.MuOld)
+	if err != nil {
+		return nil, fmt.Errorf("core: building RMNd(mu_old): %w", err)
+	}
+	pTheta, err := ndNew.NoFailureProbability(p.Theta)
+	if err != nil {
+		return nil, fmt.Errorf("core: solving P(X''_theta in A''_1): %w", err)
+	}
+	return &Analyzer{
+		params:          p,
+		gd:              gd,
+		gp:              gpm,
+		ndNew:           ndNew,
+		ndOld:           ndOld,
+		pNoFailNewTheta: pTheta,
+	}, nil
+}
+
+// Params returns the analyzer's parameter set.
+func (a *Analyzer) Params() mdcd.Params { return a.params }
+
+// Rho returns the solved forward-progress fractions (ρ₁, ρ₂).
+func (a *Analyzer) Rho() (rho1, rho2 float64) { return a.gp.Rho1, a.gp.Rho2 }
+
+// Result carries the performability index for one G-OP duration together
+// with every intermediate quantity of the translation, so callers can
+// inspect the constituent measures the way the paper does in Section 6.
+type Result struct {
+	Phi float64
+	// Y is the performability index (Eq. 1). Y > 1 means guarded operation
+	// of this duration reduces the expected total performance degradation.
+	Y float64
+
+	EWI   float64 // E[W_I] = 2θ
+	EW0   float64 // E[W_0] (Eq. 5)
+	EWPhi float64 // E[W_φ] (Eq. 6)
+	YS1   float64 // Y^{S1}_φ (Eq. 8)
+	YS2   float64 // Y^{S2}_φ (Eqs. 15/16/21)
+	Gamma float64 // discount factor γ = 1 − τ̄/θ
+
+	// Constituent measures.
+	Rho1, Rho2      float64
+	Gd              mdcd.GdMeasures // RMGd measures at φ (Table 1)
+	PNoFailNewTheta float64         // P(X″_θ ∈ A″₁)
+	PNoFailNewRem   float64         // P(X″_{θ−φ} ∈ A″₁)
+	IntF            float64         // ∫_φ^θ f(x)dx
+	PS1             float64         // P(S1) (Eq. 14)
+}
+
+// Evaluate computes Y(φ) and all intermediate quantities under the paper's
+// γ treatment. φ must lie in [0, θ].
+func (a *Analyzer) Evaluate(phi float64) (Result, error) {
+	return a.EvaluateWithPolicy(phi, GammaPaperTauBar)
+}
+
+// EvaluateWithPolicy computes Y(φ) under an explicit γ policy (used by the
+// ablation experiments; Evaluate uses the paper's policy).
+func (a *Analyzer) EvaluateWithPolicy(phi float64, policy GammaPolicy) (Result, error) {
+	p := a.params
+	if math.IsNaN(phi) || phi < 0 || phi > p.Theta {
+		return Result{}, fmt.Errorf("core: phi = %g out of [0, theta=%g]", phi, p.Theta)
+	}
+	res := Result{
+		Phi:             phi,
+		EWI:             2 * p.Theta,
+		Rho1:            a.gp.Rho1,
+		Rho2:            a.gp.Rho2,
+		PNoFailNewTheta: a.pNoFailNewTheta,
+	}
+	res.EW0 = 2 * p.Theta * a.pNoFailNewTheta
+
+	gdm, err := a.gd.Measures(phi)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: RMGd measures at phi=%g: %w", phi, err)
+	}
+	res.Gd = gdm
+
+	res.PNoFailNewRem, err = a.ndNew.NoFailureProbability(p.Theta - phi)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: P(X''_(theta-phi)): %w", err)
+	}
+	pNoFailOldRem, err := a.ndOld.NoFailureProbability(p.Theta - phi)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: recovered-pair survival: %w", err)
+	}
+	res.IntF = 1 - pNoFailOldRem
+
+	// Eq. 14: P(S1).
+	if phi > 0 {
+		res.PS1 = gdm.PA1 * res.PNoFailNewRem
+	} else {
+		res.PS1 = a.pNoFailNewTheta
+	}
+
+	rhoSum := res.Rho1 + res.Rho2
+
+	// Eq. 8: Y^{S1}.
+	res.YS1 = (rhoSum*phi + 2*(p.Theta-phi)) * res.PS1
+
+	res.Gamma, err = gammaFor(policy, gdm, p.Theta)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Eqs. 15/16/21: Y^{S2} = γ(minuend − subtrahend).
+	minuend := 2*p.Theta*gdm.IntH - (2-rhoSum)*gdm.IntTauH
+	subtrahend := 2*p.Theta*gdm.IntHF + 2*p.Theta*gdm.IntH*res.IntF
+	res.YS2 = res.Gamma * (minuend - subtrahend)
+	if res.YS2 < 0 {
+		// The translation can only produce a negative Y^{S2} through the
+		// neglected higher-order term of Eq. 19; worth cannot be negative.
+		res.YS2 = 0
+	}
+
+	res.EWPhi = res.YS1 + res.YS2
+	denom := res.EWI - res.EWPhi
+	if denom <= 0 {
+		return Result{}, fmt.Errorf(
+			"core: E[W_I] - E[W_phi] = %g <= 0 at phi=%g (mission worth exceeded the ideal bound)", denom, phi)
+	}
+	res.Y = (res.EWI - res.EW0) / denom
+	return res, nil
+}
+
+// Curve evaluates Y at each φ in phis.
+func (a *Analyzer) Curve(phis []float64) ([]Result, error) {
+	out := make([]Result, 0, len(phis))
+	for _, phi := range phis {
+		r, err := a.Evaluate(phi)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// OptimalPhi evaluates the given candidate durations and returns the result
+// maximising Y. It errors on an empty candidate list.
+func (a *Analyzer) OptimalPhi(phis []float64) (Result, error) {
+	if len(phis) == 0 {
+		return Result{}, fmt.Errorf("core: OptimalPhi needs at least one candidate")
+	}
+	results, err := a.Curve(phis)
+	if err != nil {
+		return Result{}, err
+	}
+	best := results[0]
+	for _, r := range results[1:] {
+		if r.Y > best.Y {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// SweepGrid returns n+1 equally spaced φ values covering [0, theta],
+// matching the grids of the paper's Figures 9-12.
+func SweepGrid(theta float64, n int) []float64 {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]float64, 0, n+1)
+	for i := 0; i <= n; i++ {
+		out = append(out, theta*float64(i)/float64(n))
+	}
+	return out
+}

@@ -1,0 +1,34 @@
+// Package core implements the paper's primary contribution: the successive
+// model translation that turns the performability index
+//
+//	Y(φ) = (E[W_I] − E[W_0]) / (E[W_I] − E[W_φ])        (Eq. 1)
+//
+// into an aggregate of constituent Markov-reward variables solved on the
+// three SAN models of internal/mdcd.
+//
+// The translation follows Sections 3–4 of the paper:
+//
+//	E[W_I] = 2θ                                          (Eq. 2)
+//	E[W_0] = 2θ·P(S1, φ=0) = 2θ·P(X″_θ ∈ A″₁)            (Eqs. 5, 14)
+//	E[W_φ] = Y^{S1}_φ + Y^{S2}_φ                          (Eq. 6)
+//	Y^{S1}_φ = ((ρ₁+ρ₂)φ + 2(θ−φ))·P(X′_φ∈A′₁)·P(X″_{θ−φ}∈A″₁)   (Eqs. 8, 14)
+//	Y^{S2}_φ = γ·( [2θ∫h − (2−(ρ₁+ρ₂))∫τh]                (Eqs. 15, 16)
+//	              − [2θ∫∫hf + 2θ·(∫h)(∫_φ^θ f)] )          (Eq. 21)
+//
+// with the constituent reward variables
+//
+//	∫h   = ∫₀^φ h(τ)dτ            — P(error detected by φ)        (RMGd)
+//	∫τh  = ∫₀^φ τh(τ)dτ           — mean time to error detection  (RMGd)
+//	∫∫hf = ∫₀^φ∫_τ^φ h(τ)f(x)dxdτ — detected, then failed by φ    (RMGd)
+//	P(X′_φ∈A′₁)                   — no error during G-OP          (RMGd)
+//	ρ₁, ρ₂                        — forward-progress fractions    (RMGp)
+//	P(X″_t∈A″₁), ∫_φ^θ f          — normal-mode (non-)failure     (RMNd)
+//
+// and the discount factor γ = 1 − τ̄/θ, where τ̄ is the mean time to error
+// detection — the value of the ∫τh reward variable (Section 6 of the
+// paper defines γ in terms of that measure).
+//
+// Boundary behaviour: at φ = 0 the S2 path set is degenerate, every
+// constituent of Y^{S2} vanishes, and Y(0) = 1 identically — guarded
+// operation of zero length neither helps nor hurts.
+package core

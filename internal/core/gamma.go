@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+
+	"guardedop/internal/mdcd"
+)
+
+// GammaPolicy selects how the S2 discount factor γ is derived from the
+// constituent measures. The paper (Section 6) defines γ = 1 − τ/θ "with τ
+// the mean time to error detection" and solves τ as the Table 1 ∫τh
+// reward; alternative readings are provided as ablations (see
+// EXPERIMENTS.md for their quantified effect).
+type GammaPolicy int
+
+// Gamma policy choices.
+const (
+	// GammaPaperTauBar evaluates γ = 1 − ∫τh/θ with ∫τh the Table 1
+	// accumulated-reward measure — the paper's treatment and the only one
+	// under which the published curve shapes emerge. Default.
+	GammaPaperTauBar GammaPolicy = iota
+	// GammaConditionalMean evaluates γ = 1 − E[τ|τ≤φ]/θ with the exact
+	// conditional mean detection time. Less pessimistic about aborted
+	// upgrades; shifts the optimum right.
+	GammaConditionalMean
+	// GammaNone applies no discount (γ = 1): an aborted-but-safe upgrade
+	// is worth as much as a successful one, apart from the overhead paid.
+	GammaNone
+)
+
+// String names the policy.
+func (g GammaPolicy) String() string {
+	switch g {
+	case GammaPaperTauBar:
+		return "paper (tau-bar = Table 1 int tau*h)"
+	case GammaConditionalMean:
+		return "conditional mean detection time"
+	case GammaNone:
+		return "no discount"
+	default:
+		return fmt.Sprintf("GammaPolicy(%d)", int(g))
+	}
+}
+
+// gammaFor computes the clamped discount for the given measures and policy.
+func gammaFor(policy GammaPolicy, gdm mdcd.GdMeasures, theta float64) (float64, error) {
+	var g float64
+	switch policy {
+	case GammaPaperTauBar:
+		g = 1 - gdm.IntTauH/theta
+	case GammaConditionalMean:
+		g = 1 - gdm.MeanDetectionTime()/theta
+	case GammaNone:
+		g = 1
+	default:
+		return 0, fmt.Errorf("core: unknown gamma policy %d", int(policy))
+	}
+	if g < 0 {
+		g = 0
+	}
+	if g > 1 {
+		g = 1
+	}
+	return g, nil
+}

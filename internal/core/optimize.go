@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// goldenRatio conjugate: the interior-point fraction of golden-section
+// search.
+const goldenConjugate = 0.6180339887498949
+
+// OptimizeOptions tunes the continuous optimal-duration search.
+type OptimizeOptions struct {
+	// GridPoints is the coarse bracketing grid size (default 20 intervals).
+	GridPoints int
+	// Tolerance is the φ resolution at which refinement stops, in hours
+	// (default θ/10000).
+	Tolerance float64
+	// Policy selects the γ treatment (default the paper's).
+	Policy GammaPolicy
+}
+
+// OptimizePhi finds the guarded-operation duration maximising Y over
+// [0, θ] to within the requested tolerance: a coarse grid brackets the
+// maximum, then golden-section search refines it. Y(φ) is unimodal for
+// every parameter set the study exercises (the tradeoff between the two
+// degradation sources has a single crossover); should a parameter set ever
+// produce multiple local maxima, the coarse grid keeps the search on the
+// global one at grid resolution.
+func (a *Analyzer) OptimizePhi(opts OptimizeOptions) (Result, error) {
+	if opts.GridPoints == 0 {
+		opts.GridPoints = 20
+	}
+	if opts.GridPoints < 2 {
+		return Result{}, fmt.Errorf("core: OptimizePhi needs at least 2 grid intervals, got %d", opts.GridPoints)
+	}
+	theta := a.params.Theta
+	if opts.Tolerance == 0 {
+		opts.Tolerance = theta / 10000
+	}
+	if opts.Tolerance <= 0 || math.IsNaN(opts.Tolerance) {
+		return Result{}, fmt.Errorf("core: invalid tolerance %g", opts.Tolerance)
+	}
+
+	eval := func(phi float64) (Result, error) {
+		return a.EvaluateWithPolicy(phi, opts.Policy)
+	}
+
+	// Coarse bracket.
+	grid := SweepGrid(theta, opts.GridPoints)
+	best, err := eval(grid[0])
+	if err != nil {
+		return Result{}, err
+	}
+	bestIdx := 0
+	for i := 1; i < len(grid); i++ {
+		r, err := eval(grid[i])
+		if err != nil {
+			return Result{}, err
+		}
+		if r.Y > best.Y {
+			best, bestIdx = r, i
+		}
+	}
+
+	lo := grid[max(bestIdx-1, 0)]
+	hi := grid[min(bestIdx+1, len(grid)-1)]
+	if hi-lo <= opts.Tolerance {
+		return best, nil
+	}
+
+	// Golden-section refinement on [lo, hi].
+	x1 := hi - goldenConjugate*(hi-lo)
+	x2 := lo + goldenConjugate*(hi-lo)
+	r1, err := eval(x1)
+	if err != nil {
+		return Result{}, err
+	}
+	r2, err := eval(x2)
+	if err != nil {
+		return Result{}, err
+	}
+	for hi-lo > opts.Tolerance {
+		if r1.Y >= r2.Y {
+			hi = x2
+			x2, r2 = x1, r1
+			x1 = hi - goldenConjugate*(hi-lo)
+			if r1, err = eval(x1); err != nil {
+				return Result{}, err
+			}
+		} else {
+			lo = x1
+			x1, r1 = x2, r2
+			x2 = lo + goldenConjugate*(hi-lo)
+			if r2, err = eval(x2); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	for _, r := range []Result{r1, r2} {
+		if r.Y > best.Y {
+			best = r
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,85 @@
+package ctmc
+
+import (
+	"fmt"
+	"math"
+)
+
+// AbsorptionTimeCDF returns P(absorbed by t) for each horizon in ts: the
+// cumulative distribution of the time to absorption, evaluated by the
+// transient solver on the absorbing set. The chain must have at least one
+// absorbing state.
+func (c *Chain) AbsorptionTimeCDF(pi0 []float64, ts []float64) ([]float64, error) {
+	abs := c.AbsorbingStates()
+	if len(abs) == 0 {
+		return nil, fmt.Errorf("ctmc: chain has no absorbing states")
+	}
+	isAbs := make([]bool, c.n)
+	for _, s := range abs {
+		isAbs[s] = true
+	}
+	pis, err := c.TransientSeries(pi0, ts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(ts))
+	for i, pi := range pis {
+		total := 0.0
+		for s, p := range pi {
+			if isAbs[s] {
+				total += p
+			}
+		}
+		out[i] = total
+	}
+	return out, nil
+}
+
+// AbsorptionTimeQuantile returns the q-quantile (0 < q < 1) of the
+// absorption-time distribution by bisection on the CDF, to relative
+// precision relTol (default 1e-6 when zero). It errors when the chain
+// absorbs with total probability below q (the quantile is infinite).
+func (c *Chain) AbsorptionTimeQuantile(pi0 []float64, q, relTol float64) (float64, error) {
+	if q <= 0 || q >= 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("ctmc: quantile level %g out of (0,1)", q)
+	}
+	if relTol <= 0 {
+		relTol = 1e-6
+	}
+	cdfAt := func(t float64) (float64, error) {
+		v, err := c.AbsorptionTimeCDF(pi0, []float64{t})
+		if err != nil {
+			return 0, err
+		}
+		return v[0], nil
+	}
+	// Bracket: grow the horizon until the CDF clears q (or provably cannot).
+	lo, hi := 0.0, 1/math.Max(c.MaxExitRate(), 1e-12)
+	for i := 0; ; i++ {
+		v, err := cdfAt(hi)
+		if err != nil {
+			return 0, err
+		}
+		if v >= q {
+			break
+		}
+		if i > 60 {
+			return 0, fmt.Errorf("ctmc: absorption probability stalls at %.6g below quantile %g", v, q)
+		}
+		lo = hi
+		hi *= 4
+	}
+	for hi-lo > relTol*hi {
+		mid := 0.5 * (lo + hi)
+		v, err := cdfAt(mid)
+		if err != nil {
+			return 0, err
+		}
+		if v >= q {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return 0.5 * (lo + hi), nil
+}

@@ -1,0 +1,110 @@
+package ctmc
+
+import (
+	"math"
+	"testing"
+
+	"guardedop/internal/sparse"
+)
+
+// singleExit builds 0 --rate--> 1 (absorbing): absorption time is
+// exponential(rate).
+func singleExit(t *testing.T, rate float64) *Chain {
+	t.Helper()
+	g := sparse.NewCOO(2, 2)
+	g.Add(0, 1, rate)
+	g.Add(0, 0, -rate)
+	c, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestAbsorptionTimeCDFExponential(t *testing.T) {
+	rate := 0.3
+	c := singleExit(t, rate)
+	pi0, _ := c.PointMass(0)
+	ts := []float64{0, 1, 5, 10}
+	cdf, err := c.AbsorptionTimeCDF(pi0, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tt := range ts {
+		want := 1 - math.Exp(-rate*tt)
+		if math.Abs(cdf[i]-want) > 1e-10 {
+			t.Errorf("CDF(%v) = %.12f, want %.12f", tt, cdf[i], want)
+		}
+	}
+}
+
+func TestAbsorptionTimeQuantileExponential(t *testing.T) {
+	rate := 2.0
+	c := singleExit(t, rate)
+	pi0, _ := c.PointMass(0)
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		got, err := c.AbsorptionTimeQuantile(pi0, q, 1e-8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := -math.Log(1-q) / rate
+		if math.Abs(got-want) > 1e-6*want {
+			t.Errorf("q=%v: quantile = %.9f, want %.9f", q, got, want)
+		}
+	}
+}
+
+func TestAbsorptionTimeQuantileDefective(t *testing.T) {
+	// 0 races to absorbing trap 1 (prob 0.5) or stays forever in the
+	// 2 <-> 0 cycle... build: 0 -> 1 (rate 1), 0 -> 2 (rate 1), 2 -> 0
+	// (rate 1): every path eventually absorbs (2 always returns to 0), so
+	// instead make 2 absorbing as well but ask for a quantile above the
+	// reachable mass of state 1 alone — the CDF counts ALL absorbing
+	// states, so use a chain where total absorption is genuinely partial:
+	// no finite CTMC has that, so verify the error path via an ergodic
+	// chain instead.
+	c := twoState(t, 1, 1)
+	pi0, _ := c.PointMass(0)
+	if _, err := c.AbsorptionTimeCDF(pi0, []float64{1}); err == nil {
+		t.Error("ergodic chain accepted")
+	}
+	if _, err := c.AbsorptionTimeQuantile(pi0, 0.5, 0); err == nil {
+		t.Error("ergodic chain accepted by quantile")
+	}
+}
+
+func TestAbsorptionTimeQuantileValidation(t *testing.T) {
+	c := singleExit(t, 1)
+	pi0, _ := c.PointMass(0)
+	for _, q := range []float64{0, 1, -0.5, math.NaN()} {
+		if _, err := c.AbsorptionTimeQuantile(pi0, q, 0); err == nil {
+			t.Errorf("quantile level %v accepted", q)
+		}
+	}
+}
+
+// The guarded-operation reliability question the toolkit now answers
+// directly: the 10th-percentile time to mission failure for the unguarded
+// upgraded pair.
+func TestAbsorptionQuantileMatchesRMNdStyleChain(t *testing.T) {
+	mu, lambda := 1e-4, 120.0
+	g := sparse.NewCOO(3, 3)
+	g.Add(0, 1, mu)
+	g.Add(0, 0, -mu)
+	g.Add(1, 2, lambda)
+	g.Add(1, 1, -lambda)
+	c, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi0, _ := c.PointMass(0)
+	got, err := c.AbsorptionTimeQuantile(pi0, 0.1, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Failure time ≈ exponential(mu) (the lambda stage is negligible).
+	want := -math.Log(0.9) / mu
+	if math.Abs(got-want) > 0.01*want {
+		t.Errorf("10th percentile = %.1f, want ≈ %.1f", got, want)
+	}
+}

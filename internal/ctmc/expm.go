@@ -1,0 +1,158 @@
+package ctmc
+
+import (
+	"fmt"
+	"math"
+
+	"guardedop/internal/sparse"
+)
+
+// padeTheta13 is the maximum infinity norm for which the order-13 Padé
+// approximant achieves full double precision without scaling (Higham 2005).
+const padeTheta13 = 5.371920351148152
+
+// pade13Coeffs are the numerator coefficients of the [13/13] Padé
+// approximant to the exponential.
+var pade13Coeffs = [14]float64{
+	64764752532480000, 32382376266240000, 7771770303897600, 1187353796428800,
+	129060195264000, 10559470521600, 670442572800, 33522128640,
+	1323241920, 40840800, 960960, 16380, 182, 1,
+}
+
+// Expm computes the matrix exponential e^A of a square dense matrix using
+// the order-13 Padé approximant with scaling and squaring.
+func Expm(a *sparse.Dense) (*sparse.Dense, error) {
+	if a.Rows() != a.Cols() {
+		return nil, fmt.Errorf("ctmc: Expm needs a square matrix, got %dx%d", a.Rows(), a.Cols())
+	}
+	n := a.Rows()
+	if n == 0 {
+		return sparse.NewDense(0, 0), nil
+	}
+
+	norm := a.InfNorm()
+	s := 0
+	if norm > padeTheta13 {
+		s = int(math.Ceil(math.Log2(norm / padeTheta13)))
+	}
+	scaled := a.Scale(math.Ldexp(1, -s))
+
+	x, err := pade13(scaled)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < s; i++ {
+		x = x.Mul(x)
+	}
+	return x, nil
+}
+
+// pade13 evaluates the [13/13] Padé approximant of e^A for ‖A‖∞ ≤ θ13.
+func pade13(a *sparse.Dense) (*sparse.Dense, error) {
+	n := a.Rows()
+	b := pade13Coeffs
+	ident := sparse.Identity(n)
+	a2 := a.Mul(a)
+	a4 := a2.Mul(a2)
+	a6 := a4.Mul(a2)
+
+	// U = A (A6 (b13 A6 + b11 A4 + b9 A2) + b7 A6 + b5 A4 + b3 A2 + b1 I)
+	w1 := a6.Scale(b[13]).Add(a4.Scale(b[11])).Add(a2.Scale(b[9]))
+	w2 := a6.Scale(b[7]).Add(a4.Scale(b[5])).Add(a2.Scale(b[3])).Add(ident.Scale(b[1]))
+	u := a.Mul(a6.Mul(w1).Add(w2))
+
+	// V = A6 (b12 A6 + b10 A4 + b8 A2) + b6 A6 + b4 A4 + b2 A2 + b0 I
+	z1 := a6.Scale(b[12]).Add(a4.Scale(b[10])).Add(a2.Scale(b[8]))
+	z2 := a6.Scale(b[6]).Add(a4.Scale(b[4])).Add(a2.Scale(b[2])).Add(ident.Scale(b[0]))
+	v := a6.Mul(z1).Add(z2)
+
+	// Solve (V - U) X = (V + U).
+	num := v.Add(u)
+	den := v.Add(u.Scale(-1))
+	f, err := sparse.FactorLU(den)
+	if err != nil {
+		return nil, fmt.Errorf("ctmc: Padé denominator is singular: %w", err)
+	}
+	return f.SolveMatrix(num)
+}
+
+// TransientExpm computes π(t) = π₀ e^{Qt} by dense matrix exponential.
+func (c *Chain) TransientExpm(pi0 []float64, t float64) ([]float64, error) {
+	if err := c.checkDistribution(pi0); err != nil {
+		return nil, err
+	}
+	if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+		return nil, fmt.Errorf("%w: t=%g", errNegativeTime, t)
+	}
+	if t == 0 {
+		return append([]float64(nil), pi0...), nil
+	}
+	qt := c.gen.ToDense().Scale(t)
+	e, err := Expm(qt)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, c.n)
+	e.VecMul(out, pi0)
+	clampProbabilities(out)
+	return out, nil
+}
+
+// AccumulatedExpm computes L(t) = ∫₀ᵗ π(u) du using the Van Loan augmented
+// generator: exp([[Q, I], [0, 0]] t) has ∫₀ᵗ e^{Qu}du as its (1,2) block.
+func (c *Chain) AccumulatedExpm(pi0 []float64, t float64) ([]float64, error) {
+	if err := c.checkDistribution(pi0); err != nil {
+		return nil, err
+	}
+	if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+		return nil, fmt.Errorf("%w: t=%g", errNegativeTime, t)
+	}
+	n := c.n
+	out := make([]float64, n)
+	if t == 0 {
+		return out, nil
+	}
+	aug := sparse.NewDense(2*n, 2*n)
+	for r := 0; r < n; r++ {
+		c.gen.Row(r, func(cc int, v float64) {
+			aug.Set(r, cc, v*t)
+		})
+		aug.Set(r, n+r, t)
+	}
+	e, err := Expm(aug)
+	if err != nil {
+		return nil, err
+	}
+	for j := 0; j < n; j++ {
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += pi0[i] * e.At(i, n+j)
+		}
+		if sum < 0 {
+			sum = 0
+		}
+		out[j] = sum
+	}
+	return out, nil
+}
+
+// clampProbabilities clips tiny negative round-off values to zero and
+// renormalizes when the total is within round-off of one.
+func clampProbabilities(v []float64) {
+	sum := 0.0
+	for i, x := range v {
+		if x < 0 {
+			if x < -1e-8 {
+				// A genuinely negative probability indicates a solver bug;
+				// leave it visible rather than papering over it.
+				return
+			}
+			v[i] = 0
+			x = 0
+		}
+		sum += x
+	}
+	if sum > 0 && math.Abs(sum-1) < 1e-6 {
+		sparse.ScaleVec(v, 1/sum)
+	}
+}

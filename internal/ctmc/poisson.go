@@ -1,0 +1,104 @@
+package ctmc
+
+import (
+	"fmt"
+	"math"
+)
+
+// poissonWindow holds a truncated Poisson probability mass function computed
+// in the style of Fox & Glynn (1988): the weights w[k-Left] approximate
+// Poisson(mean) pmf values for k in [Left, Right], chosen so that the
+// truncated mass outside the window is below the requested tolerance, and
+// computed by recurrence outward from the mode to avoid cancellation.
+type poissonWindow struct {
+	Mean        float64
+	Left, Right int
+	Weights     []float64 // Weights[i] = pmf(Left + i), renormalized
+}
+
+// newPoissonWindow computes the truncated Poisson(mean) pmf with total
+// truncated tail mass at most eps (split across the two tails).
+func newPoissonWindow(mean, eps float64) (*poissonWindow, error) {
+	switch {
+	case math.IsNaN(mean) || mean < 0:
+		return nil, fmt.Errorf("ctmc: invalid Poisson mean %g", mean)
+	case eps <= 0 || eps >= 1:
+		return nil, fmt.Errorf("ctmc: invalid Poisson truncation tolerance %g", eps)
+	}
+	if mean == 0 {
+		return &poissonWindow{Mean: 0, Left: 0, Right: 0, Weights: []float64{1}}, nil
+	}
+
+	mode := int(math.Floor(mean))
+	// log pmf at the mode, via the log-gamma function for stability at any mean.
+	lg, _ := math.Lgamma(float64(mode) + 1)
+	logPMode := -mean + float64(mode)*math.Log(mean) - lg
+	pMode := math.Exp(logPMode)
+	if pMode == 0 {
+		return nil, fmt.Errorf("ctmc: Poisson mode pmf underflows for mean %g", mean)
+	}
+
+	// Walk left from the mode until the running tail bound drops below eps/2.
+	// pmf(k-1) = pmf(k) * k / mean.
+	half := eps / 2
+	left := mode
+	pl := pMode
+	var leftVals []float64 // values from mode down to left, inclusive
+	leftVals = append(leftVals, pMode)
+	for left > 0 {
+		next := pl * float64(left) / mean
+		// Bound the remaining left tail by a geometric series with ratio
+		// left/mean (< 1 below the mode).
+		ratio := float64(left) / mean
+		if ratio < 1 && next/(1-ratio) < half {
+			break
+		}
+		pl = next
+		left--
+		leftVals = append(leftVals, pl)
+	}
+
+	// Walk right from the mode. pmf(k+1) = pmf(k) * mean / (k+1).
+	right := mode
+	pr := pMode
+	var rightVals []float64 // values from mode+1 up to right
+	for {
+		next := pr * mean / float64(right+1)
+		ratio := mean / float64(right+2)
+		if ratio < 1 && next/(1-ratio) < half {
+			break
+		}
+		pr = next
+		right++
+		rightVals = append(rightVals, pr)
+		if right > mode && float64(right) > mean+1e9 {
+			return nil, fmt.Errorf("ctmc: Poisson right truncation did not converge for mean %g", mean)
+		}
+	}
+
+	w := make([]float64, right-left+1)
+	for i, v := range leftVals {
+		w[mode-left-i] = v
+	}
+	for i, v := range rightVals {
+		w[mode-left+1+i] = v
+	}
+	// Renormalize so the window sums to exactly 1; this keeps probability
+	// vectors produced by uniformization summing to 1.
+	total := 0.0
+	for _, v := range w {
+		total += v
+	}
+	for i := range w {
+		w[i] /= total
+	}
+	return &poissonWindow{Mean: mean, Left: left, Right: right, Weights: w}, nil
+}
+
+// PMF returns the (renormalized, truncated) pmf at k; zero outside the window.
+func (p *poissonWindow) PMF(k int) float64 {
+	if k < p.Left || k > p.Right {
+		return 0
+	}
+	return p.Weights[k-p.Left]
+}

@@ -1,0 +1,67 @@
+package ctmc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TransientSeries computes π(t) for every time point in ts (which need not
+// be sorted; the result is aligned with the input order). Rather than
+// solving from zero for each point, the distribution is propagated
+// incrementally between consecutive sorted times — for k points this costs
+// one transient solve per gap instead of one per horizon, which matters for
+// the long stiff horizons of the guarded-operation study.
+func (c *Chain) TransientSeries(pi0 []float64, ts []float64) ([][]float64, error) {
+	if err := c.checkDistribution(pi0); err != nil {
+		return nil, err
+	}
+	if len(ts) == 0 {
+		return nil, nil
+	}
+	order := make([]int, len(ts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return ts[order[a]] < ts[order[b]] })
+
+	out := make([][]float64, len(ts))
+	cur := append([]float64(nil), pi0...)
+	last := 0.0
+	for _, idx := range order {
+		t := ts[idx]
+		if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+			return nil, fmt.Errorf("%w: t=%g", errNegativeTime, t)
+		}
+		dt := t - last
+		if dt > 0 {
+			next, err := c.propagate(cur, dt)
+			if err != nil {
+				return nil, err
+			}
+			cur = next
+			last = t
+		}
+		out[idx] = append([]float64(nil), cur...)
+	}
+	return out, nil
+}
+
+// propagate advances a distribution by dt with automatic method selection.
+// Unlike Transient it accepts an already-propagated distribution whose sum
+// may have drifted by round-off, renormalizing defensively.
+func (c *Chain) propagate(pi []float64, dt float64) ([]float64, error) {
+	// Renormalize round-off drift so the distribution check passes.
+	total := 0.0
+	for _, v := range pi {
+		total += v
+	}
+	if total > 0 && math.Abs(total-1) < 1e-6 {
+		scaled := make([]float64, len(pi))
+		for i, v := range pi {
+			scaled[i] = v / total
+		}
+		pi = scaled
+	}
+	return c.Transient(pi, dt)
+}

@@ -1,0 +1,106 @@
+package ctmc
+
+import (
+	"math"
+	"testing"
+
+	"guardedop/internal/sparse"
+)
+
+func TestTransientSeriesMatchesIndividualSolves(t *testing.T) {
+	c := birthDeath(t, 6, 2.0, 3.0)
+	pi0, _ := c.PointMass(0)
+	ts := []float64{5, 0.5, 2, 0, 5} // unsorted, with a duplicate and zero
+	series, err := c.TransientSeries(pi0, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != len(ts) {
+		t.Fatalf("got %d results", len(series))
+	}
+	for i, tt := range ts {
+		want, err := c.Transient(pi0, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sparse.L1Dist(series[i], want) > 1e-8 {
+			t.Errorf("t=%v: series deviates by %g", tt, sparse.L1Dist(series[i], want))
+		}
+	}
+	// The duplicate entries must be identical.
+	if sparse.L1Dist(series[0], series[4]) != 0 {
+		t.Error("duplicate time points differ")
+	}
+}
+
+func TestTransientSeriesStiff(t *testing.T) {
+	// Incremental propagation across the stiff regime: the 3-state chain
+	// of TestStiffTransientMatchesAnalytic evaluated on a grid.
+	mu, lambda := 1e-4, 1200.0
+	g := sparse.NewCOO(3, 3)
+	g.Add(0, 1, mu)
+	g.Add(0, 0, -mu)
+	g.Add(1, 2, lambda)
+	g.Add(1, 1, -lambda)
+	c, err := New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi0, _ := c.PointMass(0)
+	ts := []float64{1000, 5000, 10000}
+	series, err := c.TransientSeries(pi0, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tt := range ts {
+		want := math.Exp(-mu * tt)
+		if math.Abs(series[i][0]-want) > 1e-8 {
+			t.Errorf("t=%v: P(0) = %.12f, want %.12f", tt, series[i][0], want)
+		}
+	}
+}
+
+func TestTransientSeriesValidation(t *testing.T) {
+	c := twoState(t, 1, 1)
+	pi0, _ := c.PointMass(0)
+	if _, err := c.TransientSeries(pi0, []float64{1, -2}); err == nil {
+		t.Error("negative time accepted")
+	}
+	out, err := c.TransientSeries(pi0, nil)
+	if err != nil || out != nil {
+		t.Errorf("empty series: %v, %v", out, err)
+	}
+	if _, err := c.TransientSeries([]float64{1}, []float64{1}); err == nil {
+		t.Error("bad distribution accepted")
+	}
+}
+
+// Chains past the dense-solver size limit must route through
+// uniformization even at stiff horizons, and still conserve total time in
+// the accumulated solution.
+func TestLargeChainAccumulatedUsesUniformization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-chain solver test skipped in -short mode")
+	}
+	n := denseTransientLimit + 6
+	c := birthDeath(t, n, 2.0, 3.0)
+	pi0, _ := c.PointMass(0)
+	// q*t above the uniformization budget: the n > denseTransientLimit
+	// guard must still pick uniformization (dense expm on 2n x 2n would be
+	// the wrong tool here).
+	tt := (uniformizationBudget + 1e4) / (c.MaxExitRate() * 1.02)
+	acc, err := c.Accumulated(pi0, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sparse.Sum(acc)-tt) > 1e-6*tt {
+		t.Errorf("sum L(t) = %v, want %v", sparse.Sum(acc), tt)
+	}
+	pi, err := c.Transient(pi0, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sparse.Sum(pi)-1) > 1e-9 {
+		t.Errorf("transient mass = %v", sparse.Sum(pi))
+	}
+}

@@ -1,0 +1,68 @@
+package ctmc
+
+// uniformizationBudget is the largest q·t for which uniformization is chosen
+// automatically. Beyond it (stiff horizons) the dense matrix exponential is
+// asymptotically far cheaper: O(log2(qt)·n³) instead of O(qt·nnz).
+const uniformizationBudget = 2e5
+
+// denseTransientLimit is the largest state count for which the dense matrix
+// exponential path is permitted under automatic selection.
+const denseTransientLimit = 1024
+
+// Transient computes π(t) choosing between uniformization and the dense
+// matrix exponential based on the stiffness q·t and the chain size.
+func (c *Chain) Transient(pi0 []float64, t float64) ([]float64, error) {
+	if c.q*t <= uniformizationBudget || c.n > denseTransientLimit {
+		return c.TransientUniformization(pi0, t, UniformizationOptions{})
+	}
+	return c.TransientExpm(pi0, t)
+}
+
+// Accumulated computes ∫₀ᵗ π(u) du with the same automatic method selection
+// as Transient.
+func (c *Chain) Accumulated(pi0 []float64, t float64) ([]float64, error) {
+	if c.q*t <= uniformizationBudget || c.n > denseTransientLimit {
+		return c.AccumulatedUniformization(pi0, t, UniformizationOptions{})
+	}
+	return c.AccumulatedExpm(pi0, t)
+}
+
+// TransientReward returns Σ_s rates[s]·π_s(t): the expected instant-of-time
+// reward at t for the rate-reward vector rates.
+func (c *Chain) TransientReward(pi0 []float64, t float64, rates []float64) (float64, error) {
+	pi, err := c.Transient(pi0, t)
+	if err != nil {
+		return 0, err
+	}
+	return dotChecked(rates, pi)
+}
+
+// AccumulatedReward returns Σ_s rates[s]·∫₀ᵗ π_s(u)du: the expected
+// accumulated interval-of-time reward over [0, t].
+func (c *Chain) AccumulatedReward(pi0 []float64, t float64, rates []float64) (float64, error) {
+	acc, err := c.Accumulated(pi0, t)
+	if err != nil {
+		return 0, err
+	}
+	return dotChecked(rates, acc)
+}
+
+// SteadyStateReward returns Σ_s rates[s]·π_s for the stationary distribution.
+func (c *Chain) SteadyStateReward(rates []float64, opts SteadyStateOptions) (float64, error) {
+	pi, err := c.SteadyState(opts)
+	if err != nil {
+		return 0, err
+	}
+	return dotChecked(rates, pi)
+}
+
+func dotChecked(rates, pi []float64) (float64, error) {
+	if len(rates) != len(pi) {
+		return 0, errRewardLength(len(rates), len(pi))
+	}
+	sum := 0.0
+	for i, r := range rates {
+		sum += r * pi[i]
+	}
+	return sum, nil
+}

@@ -1,0 +1,144 @@
+package ctmc
+
+import (
+	"fmt"
+	"math"
+
+	"guardedop/internal/sparse"
+)
+
+// UniformizationOptions tunes the uniformization transient solver.
+type UniformizationOptions struct {
+	// Epsilon is the permitted Poisson truncation error (default 1e-12).
+	Epsilon float64
+	// RatePadding multiplies the uniformization rate above max|Q_ii| to keep
+	// the DTMC aperiodic; default 1.02.
+	RatePadding float64
+	// SteadyStateDetection stops the vector iteration once successive DTMC
+	// iterates differ by less than SteadyStateTol in L1, folding the
+	// remaining Poisson mass onto the converged vector. Default on.
+	DisableSteadyStateDetection bool
+	// SteadyStateTol is the detection threshold (default 1e-14).
+	SteadyStateTol float64
+	// MaxIterations caps the number of matrix-vector products; 0 means
+	// a generous default derived from the Poisson window.
+	MaxIterations int
+}
+
+func (o UniformizationOptions) withDefaults() UniformizationOptions {
+	if o.Epsilon == 0 {
+		o.Epsilon = 1e-12
+	}
+	if o.RatePadding == 0 {
+		o.RatePadding = 1.02
+	}
+	if o.SteadyStateTol == 0 {
+		o.SteadyStateTol = 1e-14
+	}
+	return o
+}
+
+// TransientUniformization computes the state-probability vector π(t) from
+// initial distribution pi0 by uniformization. It also works for t == 0
+// (returning a copy of pi0).
+func (c *Chain) TransientUniformization(pi0 []float64, t float64, opts UniformizationOptions) ([]float64, error) {
+	pi, _, err := c.uniformize(pi0, t, opts, false)
+	return pi, err
+}
+
+// AccumulatedUniformization computes L(t) = ∫₀ᵗ π(u) du, the vector of
+// expected total sojourn times per state over [0, t], by the uniformization
+// complementary-CDF formula:
+//
+//	L(t) = (1/q) Σ_k (1 − F(k; qt)) · π₀ Pᵏ
+//
+// where F is the Poisson CDF and P the uniformized DTMC matrix.
+func (c *Chain) AccumulatedUniformization(pi0 []float64, t float64, opts UniformizationOptions) ([]float64, error) {
+	_, acc, err := c.uniformize(pi0, t, opts, true)
+	return acc, err
+}
+
+// uniformize runs the shared vector iteration. When wantAccumulated is true
+// the second return value holds ∫₀ᵗ π(u)du; the first holds π(t) always.
+func (c *Chain) uniformize(pi0 []float64, t float64, opts UniformizationOptions, wantAccumulated bool) ([]float64, []float64, error) {
+	if err := c.checkDistribution(pi0); err != nil {
+		return nil, nil, err
+	}
+	if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+		return nil, nil, fmt.Errorf("%w: t=%g", errNegativeTime, t)
+	}
+	opts = opts.withDefaults()
+
+	pi := append([]float64(nil), pi0...)
+	acc := make([]float64, c.n)
+	if t == 0 {
+		return pi, acc, nil
+	}
+	q := c.q * opts.RatePadding
+	if q == 0 {
+		// All states absorbing: distribution never moves.
+		if wantAccumulated {
+			for i := range acc {
+				acc[i] = pi0[i] * t
+			}
+		}
+		return pi, acc, nil
+	}
+
+	win, err := newPoissonWindow(q*t, opts.Epsilon)
+	if err != nil {
+		return nil, nil, err
+	}
+	maxIter := opts.MaxIterations
+	if maxIter == 0 {
+		maxIter = win.Right + 2
+	}
+
+	p := c.uniformized(q)
+	v := append([]float64(nil), pi0...) // v_k = pi0 * P^k
+	next := make([]float64, c.n)
+	out := make([]float64, c.n)
+
+	// cdf tracks F(k) over the truncated window; accWeight tracks
+	// Σ_{j<=k} (1-F(j))/q so steady-state folding can use t - accWeight.
+	cdf := 0.0
+	accWeight := 0.0
+	for k := 0; ; k++ {
+		wk := win.PMF(k)
+		cdf += wk
+		sparse.Axpy(out, wk, v)
+		if wantAccumulated {
+			ccdf := 1 - cdf
+			if ccdf < 0 {
+				ccdf = 0
+			}
+			sparse.Axpy(acc, ccdf/q, v)
+			accWeight += ccdf / q
+		}
+		if k >= win.Right {
+			break
+		}
+		if k >= maxIter {
+			return nil, nil, fmt.Errorf("ctmc: uniformization exceeded %d iterations (qt=%g)", maxIter, q*t)
+		}
+		p.VecMul(next, v)
+		if !opts.DisableSteadyStateDetection {
+			if sparse.L1Dist(next, v) < opts.SteadyStateTol {
+				// The DTMC iterates have converged; fold all remaining
+				// Poisson mass (and accumulated weight) onto v.
+				sparse.Axpy(out, 1-cdf, next)
+				if wantAccumulated {
+					rem := t - accWeight
+					if rem > 0 {
+						sparse.Axpy(acc, rem, next)
+					}
+				}
+				copy(pi, out)
+				return pi, acc, nil
+			}
+		}
+		v, next = next, v
+	}
+	copy(pi, out)
+	return pi, acc, nil
+}

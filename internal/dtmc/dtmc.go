@@ -1,0 +1,304 @@
+// Package dtmc implements discrete-time Markov chain analysis: n-step
+// transient distributions, stationary distributions, and absorbing-chain
+// analysis via the fundamental matrix.
+//
+// DTMCs arise in this toolkit in two ways: as the uniformized companion of
+// a CTMC (the chain whose powers drive Jensen's method), and as the
+// embedded jump chain of a CTMC (the chain the Monte-Carlo simulator
+// walks). EmbeddedChain and Uniformized construct both from a ctmc.Chain,
+// giving tests and tools an independent route to the same quantities the
+// continuous-time solvers produce.
+package dtmc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"guardedop/internal/ctmc"
+	"guardedop/internal/sparse"
+)
+
+// Chain is a discrete-time Markov chain over states 0..N-1 with a row-
+// stochastic transition matrix.
+type Chain struct {
+	n int
+	p *sparse.CSR
+}
+
+// rowSumTol bounds the acceptable deviation of a transition-matrix row sum
+// from one.
+const rowSumTol = 1e-9
+
+// New validates the transition matrix held in the builder and returns the
+// chain. Rows must be non-negative and sum to one; an all-zero row is
+// rejected (encode an absorbing state as a self-loop with probability one).
+func New(p *sparse.COO) (*Chain, error) {
+	if p.Rows() != p.Cols() {
+		return nil, fmt.Errorf("dtmc: transition matrix must be square, got %dx%d", p.Rows(), p.Cols())
+	}
+	csr := p.ToCSR()
+	n := csr.Rows()
+	for r := 0; r < n; r++ {
+		sum := 0.0
+		bad := -1
+		csr.Row(r, func(c int, v float64) {
+			sum += v
+			if v < 0 && bad < 0 {
+				bad = c
+			}
+		})
+		if bad >= 0 {
+			return nil, fmt.Errorf("dtmc: negative probability at (%d,%d)", r, bad)
+		}
+		if math.Abs(sum-1) > rowSumTol {
+			return nil, fmt.Errorf("dtmc: row %d sums to %g, want 1", r, sum)
+		}
+	}
+	return &Chain{n: n, p: csr}, nil
+}
+
+// NumStates returns the number of states.
+func (c *Chain) NumStates() int { return c.n }
+
+// TransitionMatrix returns the transition matrix. The caller must not
+// mutate it.
+func (c *Chain) TransitionMatrix() *sparse.CSR { return c.p }
+
+// IsAbsorbing reports whether state s transitions only to itself.
+func (c *Chain) IsAbsorbing(s int) bool {
+	absorbing := true
+	c.p.Row(s, func(cc int, v float64) {
+		if cc != s && v > 0 {
+			absorbing = false
+		}
+	})
+	return absorbing
+}
+
+// Step computes one transition: dst = pi * P. dst and pi must not alias.
+func (c *Chain) Step(dst, pi []float64) {
+	c.p.VecMul(dst, pi)
+}
+
+// TransientN returns the distribution after n steps from pi0.
+func (c *Chain) TransientN(pi0 []float64, n int) ([]float64, error) {
+	if err := c.checkDistribution(pi0); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("dtmc: negative step count %d", n)
+	}
+	cur := append([]float64(nil), pi0...)
+	next := make([]float64, c.n)
+	for i := 0; i < n; i++ {
+		c.Step(next, cur)
+		cur, next = next, cur
+	}
+	return cur, nil
+}
+
+// ErrNoStationary is returned when power iteration fails to converge,
+// typically because the chain is periodic or reducible.
+var ErrNoStationary = errors.New("dtmc: power iteration failed to converge (chain may be periodic or reducible)")
+
+// Stationary computes a stationary distribution. For chains up to a few
+// hundred states it solves π(P−I) = 0 directly; otherwise it runs damped
+// power iteration (the damping handles periodicity).
+func (c *Chain) Stationary() ([]float64, error) {
+	if c.n == 0 {
+		return nil, errors.New("dtmc: empty chain")
+	}
+	if c.n <= 512 {
+		return c.stationaryDirect()
+	}
+	return c.stationaryPower(1e-13, 500000)
+}
+
+func (c *Chain) stationaryDirect() ([]float64, error) {
+	n := c.n
+	a := sparse.NewDense(n, n)
+	for r := 0; r < n; r++ {
+		c.p.Row(r, func(cc int, v float64) {
+			a.Set(cc, r, v) // transpose of P
+		})
+	}
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)-1)
+	}
+	for j := 0; j < n; j++ {
+		a.Set(n-1, j, 1)
+	}
+	b := make([]float64, n)
+	b[n-1] = 1
+	x, err := sparse.SolveDense(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("dtmc: direct stationary solve failed: %w", err)
+	}
+	for i, v := range x {
+		if v < -1e-8 {
+			return nil, fmt.Errorf("dtmc: stationary solve produced negative probability %g at state %d", v, i)
+		}
+		if v < 0 {
+			x[i] = 0
+		}
+	}
+	sparse.Normalize(x)
+	return x, nil
+}
+
+func (c *Chain) stationaryPower(tol float64, maxIter int) ([]float64, error) {
+	x := make([]float64, c.n)
+	for i := range x {
+		x[i] = 1 / float64(c.n)
+	}
+	next := make([]float64, c.n)
+	for iter := 0; iter < maxIter; iter++ {
+		c.Step(next, x)
+		// Damping: average with the previous iterate to break periodicity.
+		for i := range next {
+			next[i] = 0.5*next[i] + 0.5*x[i]
+		}
+		if sparse.L1Dist(next, x) < tol {
+			return next, nil
+		}
+		x, next = next, x
+	}
+	return nil, ErrNoStationary
+}
+
+// Absorbing holds absorbing-chain results: B[i][j] is the probability that
+// transient state TransientStates[i] is eventually absorbed in
+// AbsorbingStates[j], and Steps[i] is the expected number of steps to
+// absorption.
+type Absorbing struct {
+	TransientStates []int
+	AbsorbingStates []int
+	Probabilities   [][]float64
+	Steps           []float64
+}
+
+// AbsorbingAnalysis computes absorption probabilities and expected step
+// counts via the fundamental matrix N = (I − Q)⁻¹.
+func (c *Chain) AbsorbingAnalysis() (*Absorbing, error) {
+	var abs, trans []int
+	for s := 0; s < c.n; s++ {
+		if c.IsAbsorbing(s) {
+			abs = append(abs, s)
+		} else {
+			trans = append(trans, s)
+		}
+	}
+	if len(abs) == 0 {
+		return nil, errors.New("dtmc: chain has no absorbing states")
+	}
+	a := &Absorbing{TransientStates: trans, AbsorbingStates: abs}
+	nt := len(trans)
+	if nt == 0 {
+		return a, nil
+	}
+	tIdx := make(map[int]int, nt)
+	for i, s := range trans {
+		tIdx[s] = i
+	}
+	aIdx := make(map[int]int, len(abs))
+	for j, s := range abs {
+		aIdx[s] = j
+	}
+	// I - Q on the transient block; R couples to absorbing states.
+	iq := sparse.Identity(nt)
+	r := sparse.NewDense(nt, len(abs))
+	for i, s := range trans {
+		c.p.Row(s, func(cc int, v float64) {
+			if ti, ok := tIdx[cc]; ok {
+				iq.Set(i, ti, iq.At(i, ti)-v)
+			} else {
+				r.Set(i, aIdx[cc], v)
+			}
+		})
+	}
+	f, err := sparse.FactorLU(iq)
+	if err != nil {
+		return nil, fmt.Errorf("dtmc: fundamental matrix is singular (some state never absorbs): %w", err)
+	}
+	b, err := f.SolveMatrix(r)
+	if err != nil {
+		return nil, err
+	}
+	a.Probabilities = make([][]float64, nt)
+	for i := 0; i < nt; i++ {
+		a.Probabilities[i] = append([]float64(nil), b.RowSlice(i)...)
+	}
+	ones := make([]float64, nt)
+	for i := range ones {
+		ones[i] = 1
+	}
+	steps, err := f.Solve(ones)
+	if err != nil {
+		return nil, err
+	}
+	a.Steps = steps
+	return a, nil
+}
+
+func (c *Chain) checkDistribution(pi0 []float64) error {
+	if len(pi0) != c.n {
+		return fmt.Errorf("dtmc: distribution has length %d, want %d", len(pi0), c.n)
+	}
+	sum := 0.0
+	for i, p := range pi0 {
+		if p < -1e-12 || math.IsNaN(p) {
+			return fmt.Errorf("dtmc: distribution entry %d is %g", i, p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("dtmc: distribution sums to %g, want 1", sum)
+	}
+	return nil
+}
+
+// EmbeddedChain extracts the jump chain of a CTMC: from state s the next
+// state is chosen with probability rate(s→t)/exitRate(s). Absorbing CTMC
+// states become absorbing DTMC states (probability-one self-loops).
+func EmbeddedChain(c *ctmc.Chain) (*Chain, error) {
+	n := c.NumStates()
+	p := sparse.NewCOO(n, n)
+	gen := c.Generator()
+	for s := 0; s < n; s++ {
+		exit := 0.0
+		gen.Row(s, func(t int, v float64) {
+			if t != s {
+				exit += v
+			}
+		})
+		if exit == 0 {
+			p.Add(s, s, 1)
+			continue
+		}
+		gen.Row(s, func(t int, v float64) {
+			if t != s {
+				p.Add(s, t, v/exit)
+			}
+		})
+	}
+	return New(p)
+}
+
+// Uniformized constructs the uniformized DTMC P = I + Q/q of a CTMC for
+// the given uniformization rate q ≥ max|Q_ii| (q > 0).
+func Uniformized(c *ctmc.Chain, q float64) (*Chain, error) {
+	if q <= 0 || q < c.MaxExitRate() {
+		return nil, fmt.Errorf("dtmc: uniformization rate %g below max exit rate %g", q, c.MaxExitRate())
+	}
+	n := c.NumStates()
+	p := sparse.NewCOO(n, n)
+	gen := c.Generator()
+	for s := 0; s < n; s++ {
+		p.Add(s, s, 1)
+		gen.Row(s, func(t int, v float64) {
+			p.Add(s, t, v/q)
+		})
+	}
+	return New(p)
+}

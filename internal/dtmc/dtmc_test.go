@@ -1,0 +1,339 @@
+package dtmc
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"guardedop/internal/ctmc"
+	"guardedop/internal/sparse"
+)
+
+// twoState builds the chain [[1-a, a], [b, 1-b]].
+func twoState(t *testing.T, a, b float64) *Chain {
+	t.Helper()
+	p := sparse.NewCOO(2, 2)
+	p.Add(0, 0, 1-a)
+	p.Add(0, 1, a)
+	p.Add(1, 0, b)
+	p.Add(1, 1, 1-b)
+	c, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewRejectsBadMatrices(t *testing.T) {
+	nonSquare := sparse.NewCOO(2, 3)
+	if _, err := New(nonSquare); err == nil {
+		t.Error("non-square accepted")
+	}
+	negative := sparse.NewCOO(1, 1)
+	negative.Add(0, 0, -1)
+	if _, err := New(negative); err == nil {
+		t.Error("negative probability accepted")
+	}
+	short := sparse.NewCOO(1, 1)
+	short.Add(0, 0, 0.5)
+	if _, err := New(short); err == nil {
+		t.Error("substochastic row accepted")
+	}
+	empty := sparse.NewCOO(1, 1)
+	if _, err := New(empty); err == nil {
+		t.Error("all-zero row accepted")
+	}
+}
+
+func TestTransientNClosedForm(t *testing.T) {
+	// For the two-state chain, P(in 1 after n) = s(1-(1-a-b)^n) with
+	// s = a/(a+b), starting in 0.
+	a, b := 0.3, 0.1
+	c := twoState(t, a, b)
+	s := a / (a + b)
+	for _, n := range []int{0, 1, 2, 5, 20} {
+		pi, err := c.TransientN([]float64{1, 0}, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := s * (1 - math.Pow(1-a-b, float64(n)))
+		if math.Abs(pi[1]-want) > 1e-12 {
+			t.Errorf("n=%d: pi[1] = %.15f, want %.15f", n, pi[1], want)
+		}
+	}
+}
+
+func TestTransientNValidation(t *testing.T) {
+	c := twoState(t, 0.5, 0.5)
+	if _, err := c.TransientN([]float64{1}, 1); err == nil {
+		t.Error("wrong-length distribution accepted")
+	}
+	if _, err := c.TransientN([]float64{1, 0}, -1); err == nil {
+		t.Error("negative step count accepted")
+	}
+}
+
+func TestStationaryTwoState(t *testing.T) {
+	a, b := 0.3, 0.1
+	c := twoState(t, a, b)
+	pi, err := c.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pi[1]-a/(a+b)) > 1e-10 {
+		t.Errorf("pi[1] = %v, want %v", pi[1], a/(a+b))
+	}
+}
+
+func TestStationaryPowerHandlesPeriodicChain(t *testing.T) {
+	// The flip chain [[0,1],[1,0]] is periodic; damped power iteration must
+	// still find (1/2, 1/2).
+	c := twoState(t, 1, 1)
+	pi, err := c.stationaryPower(1e-12, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pi[0]-0.5) > 1e-9 {
+		t.Errorf("periodic stationary = %v, want 0.5", pi[0])
+	}
+}
+
+func TestAbsorbingAnalysisGamblersRuin(t *testing.T) {
+	// Gambler's ruin on {0..4} with p=0.4: absorption at 4 from 2 has the
+	// classical closed form.
+	p, q := 0.4, 0.6
+	n := 5
+	m := sparse.NewCOO(n, n)
+	m.Add(0, 0, 1)
+	m.Add(n-1, n-1, 1)
+	for i := 1; i < n-1; i++ {
+		m.Add(i, i+1, p)
+		m.Add(i, i-1, q)
+	}
+	c, err := New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs, err := c.AbsorbingAnalysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P(reach 4 before 0 | start 2) = (1-(q/p)^2)/(1-(q/p)^4).
+	r := q / p
+	want := (1 - math.Pow(r, 2)) / (1 - math.Pow(r, 4))
+	// Transient states are 1..3; start state 2 is index 1; absorbing state
+	// 4 is the second absorbing column.
+	got := abs.Probabilities[1][1]
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("ruin probability = %.12f, want %.12f", got, want)
+	}
+	if abs.Steps[1] <= 0 {
+		t.Errorf("expected steps = %v, want > 0", abs.Steps[1])
+	}
+}
+
+func TestAbsorbingAnalysisNoAbsorbing(t *testing.T) {
+	c := twoState(t, 0.5, 0.5)
+	if _, err := c.AbsorbingAnalysis(); err == nil {
+		t.Error("chain without absorbing states accepted")
+	}
+}
+
+func TestEmbeddedChainOfCTMC(t *testing.T) {
+	// CTMC 0 -> {1 (rate 3), 2 (rate 1)}; its jump chain leaves 0 with
+	// probabilities 0.75 / 0.25, and 1, 2 become self-loop absorbing.
+	g := sparse.NewCOO(3, 3)
+	g.Add(0, 1, 3)
+	g.Add(0, 2, 1)
+	g.Add(0, 0, -4)
+	cc, err := ctmc.New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jump, err := EmbeddedChain(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := jump.TransitionMatrix().At(0, 1); got != 0.75 {
+		t.Errorf("P(0->1) = %v, want 0.75", got)
+	}
+	if !jump.IsAbsorbing(1) || !jump.IsAbsorbing(2) {
+		t.Error("CTMC absorbing states not absorbing in the jump chain")
+	}
+	// Jump-chain absorption probabilities must match the CTMC's.
+	jabs, err := jump.AbsorbingAnalysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cabs, err := cc.AbsorbingAnalysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(jabs.Probabilities[0][0]-cabs.Probabilities[0][0]) > 1e-12 {
+		t.Errorf("jump-chain absorption %v != CTMC absorption %v",
+			jabs.Probabilities[0][0], cabs.Probabilities[0][0])
+	}
+}
+
+func TestUniformizedAgreesWithCTMCSteadyState(t *testing.T) {
+	g := sparse.NewCOO(2, 2)
+	g.Add(0, 1, 3)
+	g.Add(0, 0, -3)
+	g.Add(1, 0, 1)
+	g.Add(1, 1, -1)
+	cc, err := ctmc.New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := Uniformized(cc, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piD, err := u.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	piC, err := cc.SteadyState(ctmc.SteadyStateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The uniformized chain's stationary distribution IS the CTMC's.
+	if sparse.L1Dist(piD, piC) > 1e-9 {
+		t.Errorf("uniformized stationary %v != CTMC steady state %v", piD, piC)
+	}
+	if _, err := Uniformized(cc, 2); err == nil {
+		t.Error("uniformization rate below max exit rate accepted")
+	}
+}
+
+// Property: TransientN preserves distributions for random stochastic
+// matrices.
+func TestTransientNStochasticProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		m := sparse.NewCOO(n, n)
+		for r := 0; r < n; r++ {
+			w := make([]float64, n)
+			sum := 0.0
+			for i := range w {
+				w[i] = rng.Float64()
+				sum += w[i]
+			}
+			for i := range w {
+				m.Add(r, i, w[i]/sum)
+			}
+		}
+		c, err := New(m)
+		if err != nil {
+			return false
+		}
+		pi0 := make([]float64, n)
+		pi0[rng.Intn(n)] = 1
+		pi, err := c.TransientN(pi0, 1+rng.Intn(30))
+		if err != nil {
+			return false
+		}
+		total := 0.0
+		for _, p := range pi {
+			if p < -1e-12 {
+				return false
+			}
+			total += p
+		}
+		return math.Abs(total-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(42))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrNoStationaryExposed(t *testing.T) {
+	if !errors.Is(ErrNoStationary, ErrNoStationary) {
+		t.Fatal("sentinel broken")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	c := twoState(t, 0.5, 0.5)
+	if c.NumStates() != 2 {
+		t.Errorf("NumStates = %d", c.NumStates())
+	}
+	if c.TransitionMatrix().At(0, 1) != 0.5 {
+		t.Errorf("matrix access broken")
+	}
+	if c.IsAbsorbing(0) {
+		t.Error("non-absorbing state reported absorbing")
+	}
+}
+
+func TestStationaryEmpty(t *testing.T) {
+	c := &Chain{}
+	if _, err := c.Stationary(); err == nil {
+		t.Error("empty chain accepted")
+	}
+}
+
+// The uniformization identity ties the two packages together: the CTMC
+// transient distribution equals the Poisson(q·t)-mixture of uniformized
+// DTMC n-step distributions. Verifying it for random chains checks the
+// CTMC solver and the DTMC power iteration against each other through an
+// independent code path.
+func TestUniformizationIdentityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		g := sparse.NewCOO(n, n)
+		for r := 0; r < n; r++ {
+			exit := 0.0
+			for c := 0; c < n; c++ {
+				if c != r && rng.Float64() < 0.7 {
+					rate := rng.Float64() * 3
+					g.Add(r, c, rate)
+					exit += rate
+				}
+			}
+			if exit == 0 {
+				g.Add(r, (r+1)%n, 1)
+				exit = 1
+			}
+			g.Add(r, r, -exit)
+		}
+		cc, err := ctmc.New(g)
+		if err != nil {
+			return false
+		}
+		q := cc.MaxExitRate() * 1.1
+		u, err := Uniformized(cc, q)
+		if err != nil {
+			return false
+		}
+		pi0 := make([]float64, n)
+		pi0[rng.Intn(n)] = 1
+		tt := 0.5 + rng.Float64()
+
+		want, err := cc.Transient(pi0, tt)
+		if err != nil {
+			return false
+		}
+		// Poisson mixture of DTMC powers, truncated far into the tail.
+		got := make([]float64, n)
+		vk := append([]float64(nil), pi0...)
+		next := make([]float64, n)
+		pois := math.Exp(-q * tt)
+		for k := 0; k <= 200; k++ {
+			for i := range got {
+				got[i] += pois * vk[i]
+			}
+			u.Step(next, vk)
+			vk, next = next, vk
+			pois *= q * tt / float64(k+1)
+		}
+		return sparse.L1Dist(got, want) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(77))}); err != nil {
+		t.Fatal(err)
+	}
+}

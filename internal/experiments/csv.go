@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCurvesCSV emits the evaluated curves as CSV: one row per φ with one
+// Y column per curve, for plotting the figures with external tools.
+func WriteCurvesCSV(w io.Writer, curves []Curve) error {
+	if len(curves) == 0 {
+		return fmt.Errorf("experiments: no curves to write")
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"phi"}
+	for _, c := range curves {
+		header = append(header, "Y["+c.Label+"]")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, phi := range curves[0].Phis {
+		row := []string{strconv.FormatFloat(phi, 'g', -1, 64)}
+		for _, c := range curves {
+			if i >= len(c.Y) || len(c.Phis) != len(curves[0].Phis) {
+				return fmt.Errorf("experiments: curves have mismatched grids")
+			}
+			row = append(row, strconv.FormatFloat(c.Y[i], 'g', 10, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteResultsCSV emits the full per-φ result breakdown of one curve —
+// every intermediate of the translation — as CSV.
+func WriteResultsCSV(w io.Writer, c Curve) error {
+	if len(c.Results) == 0 {
+		return fmt.Errorf("experiments: curve %q has no results", c.Label)
+	}
+	cw := csv.NewWriter(w)
+	header := []string{
+		"phi", "Y", "EWPhi", "YS1", "YS2", "gamma", "PS1",
+		"PA1", "int_h", "int_tau_h", "int_int_h_f", "int_f",
+		"rho1", "rho2",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+	for _, r := range c.Results {
+		row := []string{
+			f(r.Phi), f(r.Y), f(r.EWPhi), f(r.YS1), f(r.YS2), f(r.Gamma), f(r.PS1),
+			f(r.Gd.PA1), f(r.Gd.IntH), f(r.Gd.IntTauH), f(r.Gd.IntHF), f(r.IntF),
+			f(r.Rho1), f(r.Rho2),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CurvesByFigure returns the curve set of a figure experiment id, for
+// callers that want data rather than a report.
+func CurvesByFigure(id string) ([]Curve, error) {
+	switch id {
+	case "fig9":
+		return Figure9Curves()
+	case "fig10":
+		return Figure10Curves()
+	case "fig11":
+		return Figure11Curves()
+	case "fig11x":
+		return Figure11xCurves()
+	case "fig12":
+		return Figure12Curves()
+	default:
+		return nil, fmt.Errorf("experiments: %q is not a figure experiment", id)
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"guardedop/internal/core"
+	"guardedop/internal/mdcd"
+)
+
+func smallCurve(t *testing.T) Curve {
+	t.Helper()
+	a, err := core.NewAnalyzer(mdcd.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	phis := []float64{0, 5000, 10000}
+	results, err := a.Curve(phis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Curve{Label: "base", Phis: phis, Results: results}
+	for _, r := range results {
+		c.Y = append(c.Y, r.Y)
+	}
+	return c
+}
+
+func TestWriteCurvesCSV(t *testing.T) {
+	c := smallCurve(t)
+	var b strings.Builder
+	if err := WriteCurvesCSV(&b, []Curve{c}); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 4 {
+		t.Fatalf("got %d rows, want header + 3", len(records))
+	}
+	if records[0][0] != "phi" || records[0][1] != "Y[base]" {
+		t.Errorf("header = %v", records[0])
+	}
+	if records[1][1] != "1" {
+		t.Errorf("Y(0) cell = %q, want 1", records[1][1])
+	}
+}
+
+func TestWriteCurvesCSVErrors(t *testing.T) {
+	if err := WriteCurvesCSV(&strings.Builder{}, nil); err == nil {
+		t.Error("empty curve list accepted")
+	}
+	c := smallCurve(t)
+	mismatched := c
+	mismatched.Phis = c.Phis[:2]
+	if err := WriteCurvesCSV(&strings.Builder{}, []Curve{c, mismatched}); err == nil {
+		t.Error("mismatched grids accepted")
+	}
+}
+
+func TestWriteResultsCSV(t *testing.T) {
+	c := smallCurve(t)
+	var b strings.Builder
+	if err := WriteResultsCSV(&b, c); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 4 || len(records[0]) != 14 {
+		t.Fatalf("got %dx%d cells", len(records), len(records[0]))
+	}
+	if err := WriteResultsCSV(&strings.Builder{}, Curve{Label: "empty"}); err == nil {
+		t.Error("empty curve accepted")
+	}
+}
+
+func TestCurvesByFigure(t *testing.T) {
+	curves, err := CurvesByFigure("fig12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 2 {
+		t.Errorf("fig12 has %d curves, want 2", len(curves))
+	}
+	if _, err := CurvesByFigure("table1"); err == nil {
+		t.Error("non-figure id accepted")
+	}
+}

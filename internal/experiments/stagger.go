@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"guardedop/internal/mdcd"
+	"guardedop/internal/textplot"
+)
+
+// StaggerRow is one line of the simultaneous-vs-staggered upgrade study.
+type StaggerRow struct {
+	K                 int     // components upgraded at once
+	SurvivalTogether  float64 // all k upgraded simultaneously, one horizon θ
+	SurvivalStaggered float64 // upgraded one per sub-horizon θ/k, sequentially
+}
+
+// StaggerStudy evaluates, on an n-process system, the mission-survival
+// probability through θ when k of the components carry fresh upgrades —
+// either all at once, or staggered one at a time with each fresh component
+// maturing to µ_old after its own sub-horizon survives.
+//
+// This exercises RMNdN, the n-process extension of the paper's normal-mode
+// model, and answers a question the single-cycle study cannot: whether the
+// risk of several upgrades compounds (it multiplies: simultaneous k-fold
+// upgrades survive like exp(−k·µ_new·θ), staggering like
+// exp(−µ_new·θ) — independent of k).
+func StaggerStudy(p mdcd.Params, n int) ([]StaggerRow, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("experiments: stagger study needs n >= 2, got %d", n)
+	}
+	rows := make([]StaggerRow, 0, n)
+	for k := 1; k <= n; k++ {
+		mus := make([]float64, n)
+		for i := range mus {
+			if i < k {
+				mus[i] = p.MuNew
+			} else {
+				mus[i] = p.MuOld
+			}
+		}
+		together, err := survival(p, mus, p.Theta)
+		if err != nil {
+			return nil, err
+		}
+
+		// Staggered: k sequential sub-horizons of length θ/k, each with
+		// exactly one fresh component (the previous one having matured).
+		// Survival multiplies across sub-horizons by the renewal argument
+		// the paper uses for its own X″ decomposition.
+		musStag := make([]float64, n)
+		for i := range musStag {
+			musStag[i] = p.MuOld
+		}
+		musStag[0] = p.MuNew
+		perPhase, err := survival(p, musStag, p.Theta/float64(k))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, StaggerRow{
+			K:                 k,
+			SurvivalTogether:  together,
+			SurvivalStaggered: math.Pow(perPhase, float64(k)),
+		})
+	}
+	return rows, nil
+}
+
+func survival(p mdcd.Params, mus []float64, t float64) (float64, error) {
+	nd, err := mdcd.BuildRMNdN(p, mus)
+	if err != nil {
+		return 0, err
+	}
+	return nd.NoFailureProbability(t)
+}
+
+func init() {
+	register(Experiment{
+		ID:    "ext-stagger",
+		Title: "Extension: simultaneous vs staggered upgrades in a 4-process system (RMNdN)",
+		Paper: "beyond the paper's 2-process study; direction of its reference [16] (general distributed systems)",
+		Run: func(w io.Writer) error {
+			p := mdcd.DefaultParams()
+			const n = 4
+			rows, err := StaggerStudy(p, n)
+			if err != nil {
+				return err
+			}
+			table := [][]string{{"upgrades k", "P(survive theta), simultaneous", "P(survive theta), staggered"}}
+			for _, r := range rows {
+				table = append(table, []string{
+					fmt.Sprintf("%d", r.K),
+					fmt.Sprintf("%.4f", r.SurvivalTogether),
+					fmt.Sprintf("%.4f", r.SurvivalStaggered),
+				})
+			}
+			fmt.Fprintf(w, "Upgrading k of %d components (theta=%.0f, mu_new=%g, unguarded):\n\n", n, p.Theta, p.MuNew)
+			fmt.Fprint(w, textplot.Table(table))
+			fmt.Fprintln(w)
+			fmt.Fprintln(w, "finding: simultaneous upgrade risk compounds multiplicatively in k,")
+			fmt.Fprintln(w, "while staggering holds mission survival at the single-upgrade level —")
+			fmt.Fprintln(w, "the quantitative case for the one-component-at-a-time GSU doctrine the")
+			fmt.Fprintln(w, "paper's methodology assumes.")
+			return nil
+		},
+	})
+}

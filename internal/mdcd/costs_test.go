@@ -1,0 +1,124 @@
+package mdcd
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSafeguardRatesBaseParams(t *testing.T) {
+	p := DefaultParams()
+	gp, err := BuildRMGp(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := gp.SafeguardRates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P1new's AT rate has a closed renewal form: ATs complete once per
+	// external message, and P1new emits externals at lambda*pext*rho1.
+	m, err := gp.Measures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantP1nAT := p.Lambda * p.PExt * m.Rho1
+	if math.Abs(rates.P1nAT-wantP1nAT) > 1e-6*wantP1nAT {
+		t.Errorf("P1nAT rate = %.4f, want %.4f", rates.P1nAT, wantP1nAT)
+	}
+	// Consistency: time fraction in P1new's AT equals rate x mean duration.
+	if overhead := rates.P1nAT / p.Alpha; math.Abs(overhead-(1-m.Rho1)) > 1e-9 {
+		t.Errorf("P1nAT occupancy = %.6f, want 1-rho1 = %.6f", overhead, 1-m.Rho1)
+	}
+	// All four safeguard operations occur with positive frequency.
+	if rates.P2AT <= 0 || rates.P2Ckpt <= 0 || rates.P1oCkpt <= 0 {
+		t.Errorf("expected all safeguard rates positive: %+v", rates)
+	}
+	if rates.Total() <= rates.P1nAT {
+		t.Errorf("Total() = %v not cumulative", rates.Total())
+	}
+	// Dirty-bit resets are driven by AT completions, so P2's checkpoints
+	// (one per dirty-bit set) cannot outnumber AT completions plus one.
+	if rates.P2Ckpt > rates.P1nAT+rates.P2AT+1 {
+		t.Errorf("checkpoint rate %v implausibly exceeds AT rates %+v", rates.P2Ckpt, rates)
+	}
+}
+
+// Occupancy identities must hold for Erlang stages too: rate x mean
+// duration = time fraction, independent of the stage count.
+func TestSafeguardRatesErlangConsistency(t *testing.T) {
+	p := DefaultParams()
+	for _, k := range []int{1, 2, 4} {
+		gp, err := BuildRMGpErlang(p, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rates, err := gp.SafeguardRates()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := gp.Measures()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if occ := rates.P1nAT / p.Alpha; math.Abs(occ-(1-m.Rho1)) > 1e-8 {
+			t.Errorf("k=%d: P1nAT occupancy %.6f != 1-rho1 %.6f", k, occ, 1-m.Rho1)
+		}
+	}
+}
+
+func TestErlangStagesPreserveRho(t *testing.T) {
+	p := DefaultParams()
+	base, err := BuildRMGp(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.Measures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{2, 4} {
+		gp, err := BuildRMGpErlang(p, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gp.Stages != k {
+			t.Errorf("Stages = %d, want %d", gp.Stages, k)
+		}
+		got, err := gp.Measures()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The overhead fractions depend on the safeguard-duration means
+		// only (an insensitivity result): Erlang stages must not move rho
+		// by more than a few 1e-4.
+		if math.Abs(got.Rho1-want.Rho1) > 5e-4 || math.Abs(got.Rho2-want.Rho2) > 5e-4 {
+			t.Errorf("k=%d: rho = (%.5f, %.5f), exponential gives (%.5f, %.5f)",
+				k, got.Rho1, got.Rho2, want.Rho1, want.Rho2)
+		}
+	}
+}
+
+func TestErlangStateSpaceGrowth(t *testing.T) {
+	p := DefaultParams()
+	g1, err := BuildRMGpErlang(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g4, err := BuildRMGpErlang(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g4.Space.NumStates() <= g1.Space.NumStates() {
+		t.Errorf("Erlang-4 state space (%d) not larger than exponential (%d)",
+			g4.Space.NumStates(), g1.Space.NumStates())
+	}
+}
+
+func TestBuildRMGpErlangValidation(t *testing.T) {
+	if _, err := BuildRMGpErlang(DefaultParams(), 0); err == nil {
+		t.Error("stages=0 accepted")
+	}
+	if _, err := BuildRMGpErlang(DefaultParams(), 17); err == nil {
+		t.Error("stages=17 accepted")
+	}
+}

@@ -1,0 +1,46 @@
+// Package mdcd builds the three SAN reward models of the guarded software
+// upgrading (GSU) study — the message-driven confidence-driven (MDCD)
+// protocol models of the paper's Figures 6–8:
+//
+//   - RMGd (Figure 6): dependability behaviour of the system during the
+//     guarded-operation interval [0, φ], including error detection by
+//     acceptance test (AT), undetected-error failures, recovery into the
+//     normal mode, and post-recovery failures. AT is modelled as
+//     instantaneous (its latency is negligible against fault inter-arrival
+//     times), realised here by resolving the detect/miss alternative as
+//     probabilistic cases of the message-sending activities.
+//   - RMGp (Figure 7): performance-overhead behaviour under the G-OP mode
+//     in an ideal (fault-free) environment: message passing, AT executions
+//     at rate α, checkpoint establishments at rate β, and the
+//     confidence-driven dirty-bit dynamics that decide when an AT or a
+//     checkpoint is required. Its steady state yields the forward-progress
+//     fractions ρ₁ (process P1new) and ρ₂ (process P2).
+//   - RMNd (Figure 8): dependability behaviour of a two-process system in
+//     the normal mode (no safeguards): fault manifestation, contamination
+//     propagation through internal messages, and failure on the first
+//     erroneous external message.
+//
+// The protocol semantics encoded here follow Section 2 and Section 5.1 of
+// the paper:
+//
+//   - A process state is (actually) contaminated after its own fault
+//     manifests or after it receives an internal message sent by a
+//     contaminated process. An erroneous process state makes the process's
+//     outgoing messages erroneous (the paper's key assumption).
+//   - P1new is always *considered* potentially contaminated during G-OP, so
+//     every external message of P1new undergoes AT. P2 (and P1old) share a
+//     confidence view — the dirty bit: it is set when P2 receives an
+//     unvalidated message from P1new and reset when an external message of
+//     a clean sender passes AT.
+//   - An erroneous external message is detected by AT with probability c
+//     (coverage); an undetected erroneous external message is an immediate
+//     system failure. Detection triggers recovery: P1old takes over, the
+//     system enters the normal mode, and the recovered pair {P1old, P2} is
+//     treated as clean except for prior contamination of P1old itself,
+//     which recovery cannot undo.
+//   - In the normal mode no AT or checkpointing is performed, so the first
+//     erroneous external message causes failure.
+//
+// The constituent-measure reward structures of the paper's Tables 1 and 2
+// are provided by the Measures type.
+package mdcd

@@ -1,0 +1,179 @@
+package mdcd
+
+import (
+	"guardedop/internal/reward"
+	"guardedop/internal/san"
+)
+
+// GdMeasures are the constituent measures solved in RMGd (paper Table 1)
+// for a particular G-OP duration φ.
+type GdMeasures struct {
+	// IntH = ∫₀^φ h(τ)dτ: probability that an error occurs and is detected
+	// by φ. Instant-of-time reward at φ with predicate
+	// detected==1 && failure==0.
+	IntH float64
+	// IntTauH = ∫₀^φ τh(τ)dτ: mean time to error detection (truncated at
+	// φ). Accumulated reward over [0,φ] with rate 1 on detected==0 and
+	// rate -1 on detected==0 && failure==1.
+	IntTauH float64
+	// IntHF = ∫₀^φ∫_τ^φ h(τ)f(x)dx dτ: probability that an error is
+	// detected during G-OP and the recovered system fails by φ.
+	// Instant-of-time reward at φ with predicate detected==1 && failure==1.
+	IntHF float64
+	// PA1 = P(X′_φ ∈ A′₁): probability no error has occurred by φ.
+	// Instant-of-time reward at φ with predicate detected==0 && failure==0.
+	PA1 float64
+	// PUndetectedFailure = P(X′_φ ∈ A′₄): probability the system failed by
+	// φ without detection. Not part of Table 1, but completes the state
+	// partition (PA1 + IntH + IntHF + PUndetectedFailure = 1) and is used
+	// by validation tests.
+	PUndetectedFailure float64
+	// AccDetected = ∫₀^φ P(detected by u)du. Not part of Table 1; it
+	// enables the exact conditional mean detection time used by the
+	// γ-policy ablation (see MeanDetectionTime).
+	AccDetected float64
+	// phi records the duration the measures were solved at.
+	phi float64
+}
+
+// PDetected returns P(an error has been detected by φ), whether or not the
+// recovered system subsequently failed.
+func (m GdMeasures) PDetected() float64 { return m.IntH + m.IntHF }
+
+// MeanDetectionTime returns the exact conditional mean time to error
+// detection, E[τ | τ ≤ φ]. Detection is monotone (the detected place is
+// never reset), so E[τ·1(τ≤φ)] = φ·P(detected by φ) − ∫₀^φ P(detected by
+// u)du. It returns 0 when detection has probability 0.
+//
+// Contrast with the paper's Table 1 ∫τh reward (IntTauH), which
+// accumulates sojourn before the FIRST ERROR EVENT and counts the full φ
+// for error-free paths; that quantity exceeds this conditional mean.
+func (m GdMeasures) MeanDetectionTime() float64 {
+	pDet := m.PDetected()
+	if pDet <= 0 {
+		return 0
+	}
+	return (m.phi*pDet - m.AccDetected) / pDet
+}
+
+// structIntH is the Table 1 reward structure for ∫h.
+func (r *RMGd) structIntH() *reward.Structure {
+	return reward.NewStructure().Add("detected && !failure", func(mk san.Marking) bool {
+		return mk.Get(r.Detected) == 1 && mk.Get(r.Failure) == 0
+	}, 1)
+}
+
+// structIntTauH is the Table 1 reward structure for ∫τh.
+func (r *RMGd) structIntTauH() *reward.Structure {
+	return reward.NewStructure().
+		Add("!detected", func(mk san.Marking) bool {
+			return mk.Get(r.Detected) == 0
+		}, 1).
+		Add("!detected && failure", func(mk san.Marking) bool {
+			return mk.Get(r.Detected) == 0 && mk.Get(r.Failure) == 1
+		}, -1)
+}
+
+// structIntHF is the Table 1 reward structure for ∫∫hf.
+func (r *RMGd) structIntHF() *reward.Structure {
+	return reward.NewStructure().Add("detected && failure", func(mk san.Marking) bool {
+		return mk.Get(r.Detected) == 1 && mk.Get(r.Failure) == 1
+	}, 1)
+}
+
+// structPA1 is the Table 1 reward structure for P(X′_φ ∈ A′₁).
+func (r *RMGd) structPA1() *reward.Structure {
+	return reward.NewStructure().Add("!detected && !failure", func(mk san.Marking) bool {
+		return mk.Get(r.Detected) == 0 && mk.Get(r.Failure) == 0
+	}, 1)
+}
+
+// Table1Structures returns the named Table 1 reward structures, keyed by the
+// paper's measure notation. Used for diagnostics and the table1 experiment.
+func (r *RMGd) Table1Structures() map[string]*reward.Structure {
+	return map[string]*reward.Structure{
+		"int_h":       r.structIntH(),
+		"int_tau_h":   r.structIntTauH(),
+		"int_int_h_f": r.structIntHF(),
+		"P(A1)":       r.structPA1(),
+	}
+}
+
+// Measures solves all Table 1 constituent measures at G-OP duration phi.
+func (r *RMGd) Measures(phi float64) (GdMeasures, error) {
+	var out GdMeasures
+	var err error
+	if out.IntH, err = reward.InstantOfTime(r.Space, r.structIntH(), phi); err != nil {
+		return out, err
+	}
+	if out.IntTauH, err = reward.Accumulated(r.Space, r.structIntTauH(), phi); err != nil {
+		return out, err
+	}
+	if out.IntHF, err = reward.InstantOfTime(r.Space, r.structIntHF(), phi); err != nil {
+		return out, err
+	}
+	if out.PA1, err = reward.InstantOfTime(r.Space, r.structPA1(), phi); err != nil {
+		return out, err
+	}
+	if out.PUndetectedFailure, err = reward.StateProbability(r.Space, func(mk san.Marking) bool {
+		return mk.Get(r.Detected) == 0 && mk.Get(r.Failure) == 1
+	}, phi); err != nil {
+		return out, err
+	}
+	detected := reward.NewStructure().Add("detected", func(mk san.Marking) bool {
+		return mk.Get(r.Detected) == 1
+	}, 1)
+	if out.AccDetected, err = reward.Accumulated(r.Space, detected, phi); err != nil {
+		return out, err
+	}
+	out.phi = phi
+	return out, nil
+}
+
+// GpMeasures are the steady-state overhead measures solved in RMGp (paper
+// Table 2).
+type GpMeasures struct {
+	// Rho1 is the fraction of time P1new makes forward progress.
+	Rho1 float64
+	// Rho2 is the fraction of time P2 makes forward progress.
+	Rho2 float64
+}
+
+// structOverhead1 is the Table 2 reward structure for 1-ρ₁:
+// MARK(P1nExt)==1. The non-zero test generalises the paper's ==1 to the
+// Erlang-staged variant, where the place holds the remaining stage count;
+// the two coincide for the paper's exponential model.
+func (r *RMGp) structOverhead1() *reward.Structure {
+	return reward.NewStructure().Add("P1nExt", func(mk san.Marking) bool {
+		return mk.Get(r.P1nExt) > 0
+	}, 1)
+}
+
+// structOverhead2 is the Table 2 reward structure for 1-ρ₂:
+// (MARK(P1nInt)==1 && MARK(P2DB)==0) || (MARK(P2Ext)==1 && MARK(P2DB)==1),
+// with the same non-zero generalisation as structOverhead1.
+func (r *RMGp) structOverhead2() *reward.Structure {
+	return reward.NewStructure().Add("P2 ckpt or AT", func(mk san.Marking) bool {
+		return (mk.Get(r.P1nInt) > 0 && mk.Get(r.P2DB) == 0) ||
+			(mk.Get(r.P2Ext) > 0 && mk.Get(r.P2DB) == 1)
+	}, 1)
+}
+
+// Overhead1Structure returns the Table 2 reward structure for 1-ρ₁.
+func (r *RMGp) Overhead1Structure() *reward.Structure { return r.structOverhead1() }
+
+// Overhead2Structure returns the Table 2 reward structure for 1-ρ₂.
+func (r *RMGp) Overhead2Structure() *reward.Structure { return r.structOverhead2() }
+
+// Measures solves the Table 2 steady-state overhead measures.
+func (r *RMGp) Measures() (GpMeasures, error) {
+	oh1, err := reward.SteadyState(r.Space, r.structOverhead1())
+	if err != nil {
+		return GpMeasures{}, err
+	}
+	oh2, err := reward.SteadyState(r.Space, r.structOverhead2())
+	if err != nil {
+		return GpMeasures{}, err
+	}
+	return GpMeasures{Rho1: 1 - oh1, Rho2: 1 - oh2}, nil
+}

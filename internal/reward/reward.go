@@ -1,0 +1,144 @@
+// Package reward maps UltraSAN-style reward structures onto generated state
+// spaces and evaluates reward variables.
+//
+// A reward structure is a list of predicate-rate pairs over markings — the
+// exact shape of Tables 1 and 2 of the guarded-operation paper. A state's
+// reward rate is the sum of the rates of all pairs whose predicate holds in
+// its marking. Three reward variables are supported:
+//
+//   - expected instant-of-time reward at time t:     Σ_s r(s)·π_s(t)
+//   - expected accumulated interval-of-time reward:  Σ_s r(s)·∫₀ᵗ π_s(u)du
+//   - expected steady-state (instant-of-time) reward: Σ_s r(s)·π_s
+package reward
+
+import (
+	"errors"
+	"fmt"
+
+	"guardedop/internal/ctmc"
+	"guardedop/internal/san"
+	"guardedop/internal/statespace"
+)
+
+// Structure is a rate-reward structure: a list of predicate-rate pairs.
+// The zero value is an empty structure with reward zero everywhere.
+type Structure struct {
+	pairs []pair
+}
+
+type pair struct {
+	name string
+	pred san.Predicate
+	rate float64
+}
+
+// NewStructure returns an empty reward structure.
+func NewStructure() *Structure { return &Structure{} }
+
+// Add appends a predicate-rate pair. The name is used in diagnostics only.
+// It returns the structure for chaining.
+func (s *Structure) Add(name string, pred san.Predicate, rate float64) *Structure {
+	if pred == nil {
+		panic(fmt.Sprintf("reward: nil predicate for pair %q", name))
+	}
+	s.pairs = append(s.pairs, pair{name: name, pred: pred, rate: rate})
+	return s
+}
+
+// Len returns the number of predicate-rate pairs.
+func (s *Structure) Len() int { return len(s.pairs) }
+
+// Rate returns the reward rate of a single marking: the sum of rates of all
+// pairs whose predicate holds.
+func (s *Structure) Rate(mk san.Marking) float64 {
+	total := 0.0
+	for _, p := range s.pairs {
+		if p.pred(mk) {
+			total += p.rate
+		}
+	}
+	return total
+}
+
+// RateVector evaluates the structure on every state of the space.
+func (s *Structure) RateVector(sp *statespace.Space) []float64 {
+	rates := make([]float64, sp.NumStates())
+	for i, mk := range sp.States {
+		rates[i] = s.Rate(mk)
+	}
+	return rates
+}
+
+// errNilSpace guards the evaluation entry points.
+var errNilSpace = errors.New("reward: nil state space")
+
+// InstantOfTime returns the expected instant-of-time reward at time t,
+// starting from the space's initial distribution.
+func InstantOfTime(sp *statespace.Space, s *Structure, t float64) (float64, error) {
+	if sp == nil {
+		return 0, errNilSpace
+	}
+	return sp.Chain.TransientReward(sp.Initial, t, s.RateVector(sp))
+}
+
+// Accumulated returns the expected accumulated interval-of-time reward over
+// [0, t], starting from the space's initial distribution.
+func Accumulated(sp *statespace.Space, s *Structure, t float64) (float64, error) {
+	if sp == nil {
+		return 0, errNilSpace
+	}
+	return sp.Chain.AccumulatedReward(sp.Initial, t, s.RateVector(sp))
+}
+
+// SteadyState returns the expected steady-state reward. The space's chain
+// must be ergodic.
+func SteadyState(sp *statespace.Space, s *Structure) (float64, error) {
+	if sp == nil {
+		return 0, errNilSpace
+	}
+	return sp.Chain.SteadyStateReward(s.RateVector(sp), steadyOpts())
+}
+
+// steadyOpts is the shared steady-state solver configuration.
+func steadyOpts() ctmc.SteadyStateOptions { return ctmc.SteadyStateOptions{} }
+
+// AccumulatedInterval returns the expected accumulated reward over
+// [t1, t2] (0 ≤ t1 ≤ t2), as the difference of two interval-of-time
+// rewards anchored at zero.
+func AccumulatedInterval(sp *statespace.Space, s *Structure, t1, t2 float64) (float64, error) {
+	if sp == nil {
+		return 0, errNilSpace
+	}
+	if t1 < 0 || t2 < t1 {
+		return 0, fmt.Errorf("reward: invalid interval [%g, %g]", t1, t2)
+	}
+	hi, err := Accumulated(sp, s, t2)
+	if err != nil {
+		return 0, err
+	}
+	if t1 == 0 {
+		return hi, nil
+	}
+	lo, err := Accumulated(sp, s, t1)
+	if err != nil {
+		return 0, err
+	}
+	return hi - lo, nil
+}
+
+// UntilAbsorption returns the expected total reward accumulated over the
+// chain's whole lifetime (the chain must be absorbing).
+func UntilAbsorption(sp *statespace.Space, s *Structure) (float64, error) {
+	if sp == nil {
+		return 0, errNilSpace
+	}
+	return sp.Chain.AccumulatedUntilAbsorption(sp.Initial, s.RateVector(sp))
+}
+
+// StateProbability returns the transient probability at time t of the set of
+// states satisfying pred — the common "expected instant-of-time reward with
+// rate one" idiom of the paper's Table 1.
+func StateProbability(sp *statespace.Space, pred san.Predicate, t float64) (float64, error) {
+	s := NewStructure().Add("indicator", pred, 1)
+	return InstantOfTime(sp, s, t)
+}

@@ -1,0 +1,243 @@
+package san
+
+import (
+	"fmt"
+	"math"
+)
+
+// RateFunc computes a marking-dependent firing rate.
+type RateFunc func(Marking) float64
+
+// WeightFunc computes a marking-dependent selection weight for races among
+// enabled instantaneous activities.
+type WeightFunc func(Marking) float64
+
+// Predicate reports whether an activity is enabled in a marking.
+type Predicate func(Marking) bool
+
+// MutateFunc applies a marking change when an activity fires.
+type MutateFunc func(Marking)
+
+// ProbFunc computes a marking-dependent case probability.
+type ProbFunc func(Marking) float64
+
+// ConstRate returns a RateFunc with a fixed rate.
+func ConstRate(r float64) RateFunc { return func(Marking) float64 { return r } }
+
+// ConstProb returns a ProbFunc with a fixed probability.
+func ConstProb(p float64) ProbFunc { return func(Marking) float64 { return p } }
+
+// inputGate couples an enabling predicate with a firing-time marking change.
+type inputGate struct {
+	name string
+	pred Predicate
+	fn   MutateFunc
+}
+
+// arc is a plain input or output arc with a multiplicity.
+type arc struct {
+	place  *Place
+	tokens int
+}
+
+// Case is one completion alternative of an activity.
+type Case struct {
+	prob        ProbFunc
+	outputArcs  []arc
+	outputFuncs []MutateFunc
+}
+
+// AddOutputArc adds count tokens to place p when this case is selected.
+func (c *Case) AddOutputArc(p *Place, count int) *Case {
+	if count <= 0 {
+		panic(fmt.Sprintf("san: output arc to %q must carry positive tokens", p.name))
+	}
+	c.outputArcs = append(c.outputArcs, arc{place: p, tokens: count})
+	return c
+}
+
+// AddOutputFunc attaches an output-gate function to this case. Functions run
+// after output arcs, in attachment order.
+func (c *Case) AddOutputFunc(fn MutateFunc) *Case {
+	c.outputFuncs = append(c.outputFuncs, fn)
+	return c
+}
+
+// Activity is a timed or instantaneous SAN activity.
+type Activity struct {
+	name   string
+	timed  bool
+	rate   RateFunc   // timed only
+	weight WeightFunc // instantaneous only; defaults to 1
+
+	inputArcs  []arc
+	inputGates []inputGate
+	cases      []*Case
+}
+
+// Name returns the activity name.
+func (a *Activity) Name() string { return a.name }
+
+// Timed reports whether the activity is timed (vs. instantaneous).
+func (a *Activity) Timed() bool { return a.timed }
+
+// Cases returns the activity's cases in creation order.
+func (a *Activity) Cases() []*Case { return a.cases }
+
+// AddTimedActivity creates an exponentially timed activity with the given
+// marking-dependent rate.
+func (m *Model) AddTimedActivity(name string, rate RateFunc) *Activity {
+	a := &Activity{name: name, timed: true, rate: rate}
+	m.activities = append(m.activities, a)
+	return a
+}
+
+// AddInstantaneousActivity creates an instantaneous activity. Instantaneous
+// activities take priority over timed ones; among several enabled
+// instantaneous activities the choice is weighted by SetWeight (default 1).
+func (m *Model) AddInstantaneousActivity(name string) *Activity {
+	a := &Activity{name: name, timed: false, weight: func(Marking) float64 { return 1 }}
+	m.activities = append(m.activities, a)
+	return a
+}
+
+// SetWeight sets the instantaneous race weight. Calling it on a timed
+// activity panics.
+func (a *Activity) SetWeight(w WeightFunc) *Activity {
+	if a.timed {
+		panic(fmt.Sprintf("san: SetWeight on timed activity %q", a.name))
+	}
+	a.weight = w
+	return a
+}
+
+// AddInputArc requires (and consumes) count tokens from place p.
+func (a *Activity) AddInputArc(p *Place, count int) *Activity {
+	if count <= 0 {
+		panic(fmt.Sprintf("san: input arc from %q must carry positive tokens", p.name))
+	}
+	a.inputArcs = append(a.inputArcs, arc{place: p, tokens: count})
+	return a
+}
+
+// AddInhibitorArc disables the activity while place p holds at least
+// threshold tokens (the classic Petri-net inhibitor arc; threshold 1 means
+// "p must be empty"). Inhibitor arcs affect enabling only; they move no
+// tokens.
+func (a *Activity) AddInhibitorArc(p *Place, threshold int) *Activity {
+	if threshold <= 0 {
+		panic(fmt.Sprintf("san: inhibitor arc on %q needs positive threshold", p.name))
+	}
+	a.inputGates = append(a.inputGates, inputGate{
+		name: "inhibit:" + p.name,
+		pred: func(mk Marking) bool { return mk.Get(p) < threshold },
+	})
+	return a
+}
+
+// AddInputGate attaches an input gate: pred contributes to enabling, fn (may
+// be nil) mutates the marking at firing time before case selection.
+func (a *Activity) AddInputGate(name string, pred Predicate, fn MutateFunc) *Activity {
+	if pred == nil {
+		panic(fmt.Sprintf("san: input gate %q on %q has nil predicate", name, a.name))
+	}
+	a.inputGates = append(a.inputGates, inputGate{name: name, pred: pred, fn: fn})
+	return a
+}
+
+// AddCase appends a completion case with the given probability function.
+func (a *Activity) AddCase(prob ProbFunc) *Case {
+	c := &Case{prob: prob}
+	a.cases = append(a.cases, c)
+	return c
+}
+
+// ensureCases materialises the implicit certain case for activities built
+// without explicit cases.
+func (a *Activity) ensureCases() {
+	if len(a.cases) == 0 {
+		a.AddCase(ConstProb(1))
+	}
+}
+
+// Enabled reports whether the activity is enabled in mk.
+func (a *Activity) Enabled(mk Marking) bool {
+	for _, ia := range a.inputArcs {
+		if mk.Get(ia.place) < ia.tokens {
+			return false
+		}
+	}
+	for _, g := range a.inputGates {
+		if !g.pred(mk) {
+			return false
+		}
+	}
+	return true
+}
+
+// Rate returns the activity's firing rate in mk. It panics on timed
+// activities with non-finite or negative rates, and on instantaneous
+// activities (which have no rate).
+func (a *Activity) Rate(mk Marking) float64 {
+	if !a.timed {
+		panic(fmt.Sprintf("san: Rate on instantaneous activity %q", a.name))
+	}
+	r := a.rate(mk)
+	if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+		panic(fmt.Sprintf("san: activity %q has invalid rate %g", a.name, r))
+	}
+	return r
+}
+
+// Weight returns the instantaneous race weight in mk.
+func (a *Activity) Weight(mk Marking) float64 {
+	w := a.weight(mk)
+	if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		panic(fmt.Sprintf("san: activity %q has invalid weight %g", a.name, w))
+	}
+	return w
+}
+
+// Fire returns the markings reachable by firing a in mk, one per case with
+// positive probability, together with each case's probability. The input
+// marking is not modified. Case probabilities must sum to 1 within 1e-9.
+func (a *Activity) Fire(mk Marking) ([]Marking, []float64, error) {
+	a.ensureCases()
+	base := mk.Clone()
+	for _, ia := range a.inputArcs {
+		base.Set(ia.place, base.Get(ia.place)-ia.tokens)
+	}
+	for _, g := range a.inputGates {
+		if g.fn != nil {
+			g.fn(base)
+		}
+	}
+	var (
+		outs  []Marking
+		probs []float64
+		total float64
+	)
+	for _, c := range a.cases {
+		p := c.prob(mk)
+		if p < 0 || math.IsNaN(p) {
+			return nil, nil, fmt.Errorf("san: activity %q case probability %g", a.name, p)
+		}
+		total += p
+		if p == 0 {
+			continue
+		}
+		dst := base.Clone()
+		for _, oa := range c.outputArcs {
+			dst.Set(oa.place, dst.Get(oa.place)+oa.tokens)
+		}
+		for _, fn := range c.outputFuncs {
+			fn(dst)
+		}
+		outs = append(outs, dst)
+		probs = append(probs, p)
+	}
+	if math.Abs(total-1) > 1e-9 {
+		return nil, nil, fmt.Errorf("san: activity %q case probabilities sum to %g, want 1", a.name, total)
+	}
+	return outs, probs, nil
+}

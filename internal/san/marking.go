@@ -1,0 +1,65 @@
+package san
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Marking is a token-count vector indexed by place index. Markings are
+// created by Model.InitialMarking and copied with Clone; gate and rate
+// functions receive the marking being evaluated.
+type Marking []int
+
+// Clone returns a deep copy of the marking.
+func (m Marking) Clone() Marking {
+	out := make(Marking, len(m))
+	copy(out, m)
+	return out
+}
+
+// Get returns the token count of place p.
+func (m Marking) Get(p *Place) int { return m[p.index] }
+
+// Set stores count tokens in place p. It panics on negative counts, which
+// indicate a model bug (an output function draining an empty place).
+func (m Marking) Set(p *Place, count int) {
+	if count < 0 {
+		panic(fmt.Sprintf("san: negative marking %d for place %q", count, p.name))
+	}
+	m[p.index] = count
+}
+
+// Key returns a compact string key identifying the marking, suitable for
+// map lookup during state-space exploration.
+func (m Marking) Key() string {
+	var b strings.Builder
+	b.Grow(len(m) * 2)
+	for i, v := range m {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(v))
+	}
+	return b.String()
+}
+
+// Format renders the marking with place names for diagnostics, listing
+// only places with non-zero token counts.
+func (m Marking) Format(model *Model) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for _, p := range model.places {
+		if m[p.index] == 0 {
+			continue
+		}
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%s=%d", p.name, m[p.index])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"guardedop/internal/ctmc"
+)
+
+// chainSimulator draws sample paths of a CTMC using the embedded jump
+// chain: dwell times are exponential with the state's exit rate, and the
+// successor is chosen proportionally to the outgoing rates.
+type chainSimulator struct {
+	exitRate []float64
+	// cumProb[s] holds the cumulative successor distribution of state s,
+	// aligned with succ[s].
+	cumProb [][]float64
+	succ    [][]int
+}
+
+// newChainSimulator precomputes the jump-chain tables for the given CTMC.
+func newChainSimulator(chain *ctmc.Chain) *chainSimulator {
+	n := chain.NumStates()
+	cs := &chainSimulator{
+		exitRate: make([]float64, n),
+		cumProb:  make([][]float64, n),
+		succ:     make([][]int, n),
+	}
+	gen := chain.Generator()
+	for s := 0; s < n; s++ {
+		var rates []float64
+		var succ []int
+		total := 0.0
+		gen.Row(s, func(c int, v float64) {
+			if c != s && v > 0 {
+				rates = append(rates, v)
+				succ = append(succ, c)
+				total += v
+			}
+		})
+		cs.exitRate[s] = total
+		cs.succ[s] = succ
+		cum := make([]float64, len(rates))
+		acc := 0.0
+		for i, r := range rates {
+			acc += r / total
+			cum[i] = acc
+		}
+		if len(cum) > 0 {
+			cum[len(cum)-1] = 1 // guard against round-off
+		}
+		cs.cumProb[s] = cum
+	}
+	return cs
+}
+
+// sampleInitial draws a state from an initial distribution.
+func sampleInitial(dist []float64, rng *rand.Rand) (int, error) {
+	u := rng.Float64()
+	acc := 0.0
+	last := -1
+	for s, p := range dist {
+		if p <= 0 {
+			continue
+		}
+		acc += p
+		last = s
+		if u < acc {
+			return s, nil
+		}
+	}
+	if last >= 0 { // round-off: total just under u
+		return last, nil
+	}
+	return 0, fmt.Errorf("sim: initial distribution has no mass")
+}
+
+// visitor observes each (state, entryTime) pair along a path; returning
+// false stops the walk.
+type visitor func(state int, entry float64) bool
+
+// run simulates from state at time t0 until tMax, invoking visit on every
+// state entry (including the initial one at t0). It returns the state
+// occupied at tMax (or the absorbing state reached earlier) and the time at
+// which the path stopped moving (tMax, or earlier for absorption).
+func (cs *chainSimulator) run(state int, t0, tMax float64, rng *rand.Rand, visit visitor) (endState int, endTime float64) {
+	t := t0
+	if visit != nil && !visit(state, t) {
+		return state, t
+	}
+	for {
+		q := cs.exitRate[state]
+		if q == 0 {
+			return state, t // absorbing
+		}
+		dwell := rng.ExpFloat64() / q
+		if t+dwell >= tMax {
+			return state, tMax
+		}
+		t += dwell
+		u := rng.Float64()
+		cum := cs.cumProb[state]
+		next := cs.succ[state][len(cum)-1]
+		for i, c := range cum {
+			if u < c {
+				next = cs.succ[state][i]
+				break
+			}
+		}
+		state = next
+		if visit != nil && !visit(state, t) {
+			return state, t
+		}
+	}
+}

@@ -1,0 +1,30 @@
+// Package sim provides discrete-event Monte-Carlo simulation of the
+// guarded software upgrading process — the *monolithic*, untranslated model
+// X of the paper's Section 4.
+//
+// The monolithic process is non-Markovian: the guarded-operation cutoff φ
+// is a deterministic transition, which is exactly why the paper develops
+// the model-translation approach instead of solving X directly. A
+// simulator has no such difficulty, so this package serves as the
+// end-to-end validator of the translation: it simulates sample paths of X
+// through the G-OP interval (the RMGd dynamics), across the deterministic
+// φ boundary, and through the remaining normal-mode interval (the RMNd
+// dynamics), accounting mission worth per the paper's Equation (4), and
+// estimates Y(φ) directly.
+//
+// Two γ treatments are supported: the per-path discount γ(τ) = 1 − τ/θ
+// applied to each S2 sample path at its own detection time τ (the
+// design-level definition), and the paper's evaluation-level approximation
+// that uses a single γ at the mean detection time. Comparing the two
+// quantifies the error introduced by that approximation.
+//
+// The package also estimates the steady-state overhead fractions ρ₁, ρ₂ by
+// long-run simulation of the RMGp chain, validating the analytic
+// steady-state solution.
+//
+// Simulation reuses the generated CTMCs of the analytic models — the same
+// generators drive both solvers, so a disagreement isolates a solver bug
+// rather than a model-transcription difference; the φ boundary and the
+// cross-boundary carry-over of latent contamination (which the analytic
+// translation approximates away) are the only genuinely new mechanics here.
+package sim

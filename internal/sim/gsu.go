@@ -1,0 +1,385 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"guardedop/internal/mdcd"
+)
+
+// GammaMode selects how the S2 discount factor γ is applied to sample paths.
+type GammaMode int
+
+// Gamma treatment choices.
+const (
+	// GammaPerPath applies γ(τ) = 1 − τ/θ at each path's own detection
+	// time — the design-level definition of the discount.
+	GammaPerPath GammaMode = iota
+	// GammaFixed applies a single externally supplied γ to every S2 path,
+	// matching the paper's evaluation-level approximation.
+	GammaFixed
+)
+
+// Options configures the Monte-Carlo estimator.
+type Options struct {
+	// Paths is the number of independent replications (default 20000).
+	Paths int
+	// Seed seeds the deterministic random stream (default 1).
+	Seed int64
+	// GammaMode selects the discount treatment (default GammaPerPath).
+	GammaMode GammaMode
+	// Gamma is the fixed discount used with GammaFixed.
+	Gamma float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Paths == 0 {
+		o.Paths = 20000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Estimate is a Monte-Carlo mean with its standard error.
+type Estimate struct {
+	Mean   float64
+	StdErr float64
+	N      int
+}
+
+// YEstimate is the simulated performability index with its ingredients.
+type YEstimate struct {
+	Phi     float64
+	Y       float64
+	YStdErr float64
+	EWI     float64
+	EW0     Estimate
+	EWPhi   Estimate
+	// CountS1, CountS2, CountFailed partition the W_phi replications.
+	CountS1, CountS2, CountFailed int
+}
+
+// Simulator draws sample paths of the monolithic GSU process. It reuses the
+// CTMCs generated for the analytic models, so the analytic and simulated
+// results share one model description.
+type Simulator struct {
+	params     mdcd.Params
+	rho1, rho2 float64
+
+	gd       *mdcd.RMGd
+	gdSim    *chainSimulator
+	ndNew    *mdcd.RMNd
+	ndNewSim *chainSimulator
+	ndOld    *mdcd.RMNd
+	ndOldSim *chainSimulator
+}
+
+// NewSimulator builds the path simulator. rho1 and rho2 are the
+// forward-progress fractions used in worth accounting; they typically come
+// from the analytic RMGp solution (a hybrid analytic/simulation evaluation,
+// in the spirit of the paper's Section 7) or from EstimateRho.
+func NewSimulator(p mdcd.Params, rho1, rho2 float64) (*Simulator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if rho1 <= 0 || rho1 > 1 || rho2 <= 0 || rho2 > 1 {
+		return nil, fmt.Errorf("sim: rho out of (0,1]: rho1=%g rho2=%g", rho1, rho2)
+	}
+	gd, err := mdcd.BuildRMGd(p)
+	if err != nil {
+		return nil, err
+	}
+	ndNew, err := mdcd.BuildRMNd(p, p.MuNew)
+	if err != nil {
+		return nil, err
+	}
+	ndOld, err := mdcd.BuildRMNd(p, p.MuOld)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{
+		params:   p,
+		rho1:     rho1,
+		rho2:     rho2,
+		gd:       gd,
+		gdSim:    newChainSimulator(gd.Space.Chain),
+		ndNew:    ndNew,
+		ndNewSim: newChainSimulator(ndNew.Space.Chain),
+		ndOld:    ndOld,
+		ndOldSim: newChainSimulator(ndOld.Space.Chain),
+	}, nil
+}
+
+// normalModeIndex maps carried-over contamination flags into a state index
+// of an RMNd space.
+func normalModeIndex(nd *mdcd.RMNd, p1ctn, p2ctn bool) (int, error) {
+	mk := nd.Space.Model.InitialMarking()
+	if p1ctn {
+		mk.Set(nd.P1ctn, 1)
+	}
+	if p2ctn {
+		mk.Set(nd.P2ctn, 1)
+	}
+	idx := nd.Space.StateIndex(mk)
+	if idx < 0 {
+		return 0, fmt.Errorf("sim: normal-mode marking %v unreachable", mk)
+	}
+	return idx, nil
+}
+
+// simulateW0 draws one W_0 replication: the unguarded upgraded pair runs
+// through [0, θ]; worth is 2θ on survival, 0 otherwise.
+func (s *Simulator) simulateW0(rng *rand.Rand) (float64, error) {
+	start, err := sampleInitial(s.ndNew.Space.Initial, rng)
+	if err != nil {
+		return 0, err
+	}
+	end, _ := s.ndNewSim.run(start, 0, s.params.Theta, rng, nil)
+	if s.ndNew.Space.States[end].Get(s.ndNew.Failure) == 1 {
+		return 0, nil
+	}
+	return 2 * s.params.Theta, nil
+}
+
+// pathClass tags a W_phi replication.
+type pathClass int
+
+const (
+	classFailed pathClass = iota
+	classS1
+	classS2
+)
+
+// simulateWPhi draws one W_phi replication of the monolithic process:
+// RMGd dynamics on [0, φ], then — across the deterministic boundary, with
+// latent contamination carried over — RMNd dynamics on [φ, θ].
+func (s *Simulator) simulateWPhi(phi float64, gamma func(tau float64) float64, rng *rand.Rand) (float64, pathClass, error) {
+	p := s.params
+	start, err := sampleInitial(s.gd.Space.Initial, rng)
+	if err != nil {
+		return 0, classFailed, err
+	}
+
+	// Guarded interval [0, φ]; record the detection instant if any.
+	tau := math.NaN()
+	endGd, _ := s.gdSim.run(start, 0, phi, rng, func(state int, entry float64) bool {
+		mk := s.gd.Space.States[state]
+		if math.IsNaN(tau) && mk.Get(s.gd.Detected) == 1 {
+			tau = entry
+		}
+		return true
+	})
+	mk := s.gd.Space.States[endGd]
+	if mk.Get(s.gd.Failure) == 1 {
+		return 0, classFailed, nil
+	}
+
+	if mk.Get(s.gd.Detected) == 1 {
+		// S2 candidate: the recovered pair {P1old, P2} continues to θ.
+		idx, err := normalModeIndex(s.ndOld, mk.Get(s.gd.P1Octn) == 1, mk.Get(s.gd.P2ctn) == 1)
+		if err != nil {
+			return 0, classFailed, err
+		}
+		end, _ := s.ndOldSim.run(idx, phi, p.Theta, rng, nil)
+		if s.ndOld.Space.States[end].Get(s.ndOld.Failure) == 1 {
+			return 0, classFailed, nil
+		}
+		worth := gamma(tau) * ((s.rho1+s.rho2)*tau + 2*(p.Theta-tau))
+		return worth, classS2, nil
+	}
+
+	// S1 candidate: the upgraded pair {P1new, P2} continues to θ, with any
+	// latent contamination at φ carried across the boundary.
+	idx, err := normalModeIndex(s.ndNew, mk.Get(s.gd.P1Nctn) == 1, mk.Get(s.gd.P2ctn) == 1)
+	if err != nil {
+		return 0, classFailed, err
+	}
+	end, _ := s.ndNewSim.run(idx, phi, p.Theta, rng, nil)
+	if s.ndNew.Space.States[end].Get(s.ndNew.Failure) == 1 {
+		return 0, classFailed, nil
+	}
+	return (s.rho1+s.rho2)*phi + 2*(p.Theta-phi), classS1, nil
+}
+
+// EstimateY estimates the performability index at duration phi by
+// Monte-Carlo simulation of the monolithic process.
+func (s *Simulator) EstimateY(phi float64, opts Options) (YEstimate, error) {
+	p := s.params
+	if math.IsNaN(phi) || phi < 0 || phi > p.Theta {
+		return YEstimate{}, fmt.Errorf("sim: phi = %g out of [0, theta=%g]", phi, p.Theta)
+	}
+	opts = opts.withDefaults()
+	gamma := func(tau float64) float64 {
+		g := 1 - tau/p.Theta
+		if g < 0 {
+			return 0
+		}
+		return g
+	}
+	if opts.GammaMode == GammaFixed {
+		if opts.Gamma < 0 || opts.Gamma > 1 || math.IsNaN(opts.Gamma) {
+			return YEstimate{}, fmt.Errorf("sim: fixed gamma = %g out of [0,1]", opts.Gamma)
+		}
+		fixed := opts.Gamma
+		gamma = func(float64) float64 { return fixed }
+	}
+
+	out := YEstimate{Phi: phi, EWI: 2 * p.Theta}
+
+	sum0, sumSq0, _, err := s.runPaths(opts.Paths, opts.Seed, func(rng *rand.Rand) (float64, pathClass, error) {
+		w, err := s.simulateW0(rng)
+		return w, classS1, err
+	})
+	if err != nil {
+		return YEstimate{}, err
+	}
+	out.EW0 = finishEstimate(sum0, sumSq0, opts.Paths)
+
+	sumP, sumSqP, counts, err := s.runPaths(opts.Paths, opts.Seed+1, func(rng *rand.Rand) (float64, pathClass, error) {
+		return s.simulateWPhi(phi, gamma, rng)
+	})
+	if err != nil {
+		return YEstimate{}, err
+	}
+	out.CountFailed = counts[classFailed]
+	out.CountS1 = counts[classS1]
+	out.CountS2 = counts[classS2]
+	out.EWPhi = finishEstimate(sumP, sumSqP, opts.Paths)
+
+	num := out.EWI - out.EW0.Mean
+	den := out.EWI - out.EWPhi.Mean
+	if den <= 0 {
+		return YEstimate{}, fmt.Errorf("sim: estimated E[W_I]-E[W_phi] = %g <= 0", den)
+	}
+	out.Y = num / den
+	// First-order error propagation for the ratio of independent estimates.
+	relNum := out.EW0.StdErr / num
+	relDen := out.EWPhi.StdErr / den
+	out.YStdErr = out.Y * math.Sqrt(relNum*relNum+relDen*relDen)
+	return out, nil
+}
+
+// runPaths draws n independent replications in parallel across
+// runtime.NumCPU()-bounded workers. Each path gets its own deterministic
+// random stream derived from (seed, path index), so results are identical
+// regardless of worker count or scheduling.
+func (s *Simulator) runPaths(n int, seed int64, one func(*rand.Rand) (float64, pathClass, error)) (sum, sumSq float64, counts [3]int, err error) {
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Per-path results are stored by index and reduced sequentially so the
+	// floating-point summation order — and therefore the estimate — is
+	// bitwise identical regardless of worker count or scheduling.
+	worths := make([]float64, n)
+	classes := make([]pathClass, n)
+	errs := make([]error, workers)
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				// splitmix-style stream separation per path index.
+				pathSeed := seed + i*int64(0x9E3779B97F4A7C)
+				rng := rand.New(rand.NewSource(pathSeed))
+				worth, class, err := one(rng)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				worths[i] = worth
+				classes[i] = class
+			}
+		}()
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return 0, 0, counts, e
+		}
+	}
+	for i := 0; i < n; i++ {
+		sum += worths[i]
+		sumSq += worths[i] * worths[i]
+		counts[classes[i]]++
+	}
+	return sum, sumSq, counts, nil
+}
+
+func finishEstimate(sum, sumSq float64, n int) Estimate {
+	mean := sum / float64(n)
+	variance := (sumSq - float64(n)*mean*mean) / float64(n-1)
+	if variance < 0 {
+		variance = 0
+	}
+	return Estimate{Mean: mean, StdErr: math.Sqrt(variance / float64(n)), N: n}
+}
+
+// EstimateRho estimates the forward-progress fractions (ρ₁, ρ₂) by a
+// long-run simulation of the RMGp chain over the given horizon (in hours)
+// with a 2% burn-in, validating the analytic steady-state solution.
+func EstimateRho(p mdcd.Params, horizon float64, seed int64) (rho1, rho2 float64, err error) {
+	if horizon <= 0 || math.IsNaN(horizon) {
+		return 0, 0, fmt.Errorf("sim: horizon = %g must be positive", horizon)
+	}
+	gp, err := mdcd.BuildRMGp(p)
+	if err != nil {
+		return 0, 0, err
+	}
+	oh1 := gp.Overhead1Structure().RateVector(gp.Space)
+	oh2 := gp.Overhead2Structure().RateVector(gp.Space)
+	cs := newChainSimulator(gp.Space.Chain)
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	start, err := sampleInitial(gp.Space.Initial, rng)
+	if err != nil {
+		return 0, 0, err
+	}
+	burnIn := 0.02 * horizon
+	var t1, t2, measured float64
+	prevState, prevTime := start, 0.0
+	account := func(state int, until float64) {
+		from := prevTime
+		if from < burnIn {
+			from = burnIn
+		}
+		if until > from {
+			d := until - from
+			measured += d
+			t1 += d * oh1[state]
+			t2 += d * oh2[state]
+		}
+	}
+	cs.run(start, 0, horizon, rng, func(state int, entry float64) bool {
+		if entry > 0 {
+			account(prevState, entry)
+		}
+		prevState, prevTime = state, entry
+		return true
+	})
+	account(prevState, horizon)
+	if measured <= 0 {
+		return 0, 0, fmt.Errorf("sim: horizon too short for burn-in")
+	}
+	return 1 - t1/measured, 1 - t2/measured, nil
+}

@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"guardedop/internal/ctmc"
+	"guardedop/internal/mdcd"
+	"guardedop/internal/sparse"
+)
+
+// buildChain builds a CTMC from generator triples for simulator unit tests.
+func buildChain(t *testing.T, n int, triples [][3]float64) *ctmc.Chain {
+	t.Helper()
+	g := sparse.NewCOO(n, n)
+	for _, tr := range triples {
+		from, to, rate := int(tr[0]), int(tr[1]), tr[2]
+		g.Add(from, to, rate)
+		g.Add(from, from, -rate)
+	}
+	c, err := ctmc.New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestChainSimulatorMatchesTransient(t *testing.T) {
+	// Two-state chain: P(state 1 at t) has a closed form; the empirical
+	// frequency over many paths must agree within Monte-Carlo error.
+	a, b := 3.0, 1.0
+	chain := buildChain(t, 2, [][3]float64{{0, 1, a}, {1, 0, b}})
+	cs := newChainSimulator(chain)
+	rng := rand.New(rand.NewSource(7))
+	const paths = 40000
+	tEnd := 0.4
+	hits := 0
+	for i := 0; i < paths; i++ {
+		end, _ := cs.run(0, 0, tEnd, rng, nil)
+		if end == 1 {
+			hits++
+		}
+	}
+	got := float64(hits) / paths
+	want := a / (a + b) * (1 - math.Exp(-(a+b)*tEnd))
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("empirical P(1) = %.4f, want %.4f ± MC error", got, want)
+	}
+}
+
+func TestChainSimulatorAbsorbs(t *testing.T) {
+	chain := buildChain(t, 2, [][3]float64{{0, 1, 5}})
+	cs := newChainSimulator(chain)
+	rng := rand.New(rand.NewSource(3))
+	end, tEnd := cs.run(0, 0, 1000, rng, nil)
+	if end != 1 {
+		t.Fatalf("did not absorb: end=%d", end)
+	}
+	if tEnd >= 1000 {
+		t.Fatalf("absorption time %v not before horizon", tEnd)
+	}
+}
+
+func TestChainSimulatorVisitorStops(t *testing.T) {
+	chain := buildChain(t, 2, [][3]float64{{0, 1, 5}, {1, 0, 5}})
+	cs := newChainSimulator(chain)
+	rng := rand.New(rand.NewSource(3))
+	visits := 0
+	end, _ := cs.run(0, 0, 1000, rng, func(state int, entry float64) bool {
+		visits++
+		return visits < 3
+	})
+	if visits != 3 {
+		t.Errorf("visits = %d, want 3", visits)
+	}
+	_ = end
+}
+
+func TestSampleInitial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	counts := [2]int{}
+	for i := 0; i < 10000; i++ {
+		s, err := sampleInitial([]float64{0.25, 0.75}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[s]++
+	}
+	if math.Abs(float64(counts[0])/10000-0.25) > 0.02 {
+		t.Errorf("empirical split %v, want ≈ (0.25, 0.75)", counts)
+	}
+	if _, err := sampleInitial([]float64{0, 0}, rng); err == nil {
+		t.Error("all-zero distribution accepted")
+	}
+}
+
+func TestEstimateRhoMatchesAnalytic(t *testing.T) {
+	p := mdcd.DefaultParams()
+	gp, err := mdcd.BuildRMGp(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := gp.Measures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho1, rho2, err := EstimateRho(p, 2000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho1-want.Rho1) > 0.005 {
+		t.Errorf("simulated rho1 = %.4f, analytic %.4f", rho1, want.Rho1)
+	}
+	if math.Abs(rho2-want.Rho2) > 0.01 {
+		t.Errorf("simulated rho2 = %.4f, analytic %.4f", rho2, want.Rho2)
+	}
+}
+
+func TestEstimateRhoRejectsBadHorizon(t *testing.T) {
+	if _, _, err := EstimateRho(mdcd.DefaultParams(), 0, 1); err == nil {
+		t.Error("zero horizon accepted")
+	}
+}
+
+func TestNewSimulatorValidation(t *testing.T) {
+	p := mdcd.DefaultParams()
+	if _, err := NewSimulator(p, 0, 0.9); err == nil {
+		t.Error("rho1=0 accepted")
+	}
+	if _, err := NewSimulator(p, 0.9, 1.5); err == nil {
+		t.Error("rho2>1 accepted")
+	}
+	bad := p
+	bad.Theta = -1
+	if _, err := NewSimulator(bad, 0.9, 0.9); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestEstimateYRejectsBadInput(t *testing.T) {
+	s, err := NewSimulator(mdcd.DefaultParams(), 0.98, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.EstimateY(-5, Options{Paths: 10}); err == nil {
+		t.Error("negative phi accepted")
+	}
+	if _, err := s.EstimateY(5000, Options{Paths: 10, GammaMode: GammaFixed, Gamma: 2}); err == nil {
+		t.Error("gamma=2 accepted")
+	}
+}
+
+// scaledParams returns a parameter set with the same dimensionless products
+// (mu*theta, lambda >> mu, phi/theta) as Table 3 but a far smaller lambda*theta
+// event count, keeping simulation unit tests fast. The paper-scale parameters
+// are exercised by the valsim experiment and the benchmark suite.
+func scaledParams() mdcd.Params {
+	p := mdcd.DefaultParams()
+	p.Theta = 1000
+	p.MuNew = 1e-3
+	p.MuOld = 1e-7
+	p.Lambda = 120
+	p.Alpha, p.Beta = 600, 600
+	return p
+}
+
+func TestEstimateYAtPhiZeroIsNearOne(t *testing.T) {
+	s, err := NewSimulator(scaledParams(), 0.98, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := s.EstimateY(0, Options{Paths: 8000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At phi=0 both W estimates target the same distribution, so Y ≈ 1
+	// within a few standard errors.
+	if math.Abs(est.Y-1) > 4*est.YStdErr+1e-9 {
+		t.Errorf("Y(0) = %.4f ± %.4f, want ≈ 1", est.Y, est.YStdErr)
+	}
+	if est.CountS2 != 0 {
+		t.Errorf("S2 paths at phi=0: %d, want 0", est.CountS2)
+	}
+}
+
+func TestEstimateYIsDeterministicPerSeed(t *testing.T) {
+	s, err := NewSimulator(scaledParams(), 0.98, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.EstimateY(500, Options{Paths: 2000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.EstimateY(500, Options{Paths: 2000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Y != b.Y || a.EWPhi.Mean != b.EWPhi.Mean {
+		t.Errorf("same seed gave different results: %v vs %v", a.Y, b.Y)
+	}
+}
+
+func TestEstimateYPathClassesPartition(t *testing.T) {
+	s, err := NewSimulator(scaledParams(), 0.98, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := s.EstimateY(700, Options{Paths: 4000, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.CountS1+est.CountS2+est.CountFailed != 4000 {
+		t.Errorf("path classes do not partition: %+v", est)
+	}
+	if est.CountS1 == 0 || est.CountS2 == 0 || est.CountFailed == 0 {
+		t.Errorf("expected all three path classes at phi=7000: %+v", est)
+	}
+}

@@ -1,0 +1,17 @@
+// Package sparse provides the linear-algebra substrate used by the CTMC
+// solvers: coordinate-format (COO) matrix assembly, compressed sparse row
+// (CSR) kernels, dense vectors and matrices, and a dense LU factorisation
+// with partial pivoting.
+//
+// Go's standard library has no linear algebra, and Markov reward analysis
+// needs only a narrow slice of it: sparse matrix-vector products for
+// uniformization, dense factorisation for steady-state solves and matrix
+// exponentials, and a handful of vector kernels. The package implements
+// exactly that slice with no external dependencies.
+//
+// All matrices are real-valued with float64 entries. Row/column indices are
+// zero-based. The package is written for correctness and predictable
+// allocation behaviour rather than peak BLAS-level throughput; the state
+// spaces arising in this repository are small (tens to a few thousand
+// states), so clarity wins.
+package sparse

@@ -1,0 +1,131 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a matrix factorisation encounters a pivot
+// that is exactly zero (or numerically indistinguishable from it).
+var ErrSingular = errors.New("sparse: matrix is singular to working precision")
+
+// LU holds an LU factorisation with partial pivoting of a square matrix:
+// P*A = L*U, stored compactly in a single matrix with the permutation in piv.
+type LU struct {
+	lu  *Dense
+	piv []int
+	n   int
+}
+
+// FactorLU computes the LU factorisation with partial pivoting of the square
+// matrix a. The input is not modified.
+func FactorLU(a *Dense) (*LU, error) {
+	if a.Rows() != a.Cols() {
+		return nil, fmt.Errorf("sparse: FactorLU needs a square matrix, got %dx%d", a.Rows(), a.Cols())
+	}
+	n := a.Rows()
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Partial pivot: find the largest magnitude entry in column k at or
+		// below the diagonal.
+		p, maxAbs := k, math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > maxAbs {
+				p, maxAbs = i, v
+			}
+		}
+		if maxAbs == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			rp, rk := lu.RowSlice(p), lu.RowSlice(k)
+			for j := range rp {
+				rp[j], rk[j] = rk[j], rp[j]
+			}
+			piv[p], piv[k] = piv[k], piv[p]
+		}
+		pivot := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			m := lu.At(i, k) / pivot
+			lu.Set(i, k, m)
+			if m == 0 {
+				continue
+			}
+			ri, rk := lu.RowSlice(i), lu.RowSlice(k)
+			for j := k + 1; j < n; j++ {
+				ri[j] -= m * rk[j]
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, n: n}, nil
+}
+
+// Solve solves A*x = b and returns x. b is not modified.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.n {
+		return nil, fmt.Errorf("sparse: LU.Solve dimension mismatch: n=%d, len(b)=%d", f.n, len(b))
+	}
+	x := make([]float64, f.n)
+	// Apply permutation.
+	for i, p := range f.piv {
+		x[i] = b[p]
+	}
+	// Forward substitution with unit lower triangle.
+	for i := 1; i < f.n; i++ {
+		row := f.lu.RowSlice(i)
+		sum := x[i]
+		for j := 0; j < i; j++ {
+			sum -= row[j] * x[j]
+		}
+		x[i] = sum
+	}
+	// Back substitution with upper triangle.
+	for i := f.n - 1; i >= 0; i-- {
+		row := f.lu.RowSlice(i)
+		sum := x[i]
+		for j := i + 1; j < f.n; j++ {
+			sum -= row[j] * x[j]
+		}
+		if row[i] == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = sum / row[i]
+	}
+	return x, nil
+}
+
+// SolveMatrix solves A*X = B column by column and returns X.
+func (f *LU) SolveMatrix(b *Dense) (*Dense, error) {
+	if b.Rows() != f.n {
+		return nil, fmt.Errorf("sparse: LU.SolveMatrix dimension mismatch: n=%d, B is %dx%d", f.n, b.Rows(), b.Cols())
+	}
+	out := NewDense(f.n, b.Cols())
+	col := make([]float64, f.n)
+	for c := 0; c < b.Cols(); c++ {
+		for r := 0; r < f.n; r++ {
+			col[r] = b.At(r, c)
+		}
+		x, err := f.Solve(col)
+		if err != nil {
+			return nil, err
+		}
+		for r := 0; r < f.n; r++ {
+			out.Set(r, c, x[r])
+		}
+	}
+	return out, nil
+}
+
+// SolveDense is a convenience wrapper that factors a and solves a*x = b.
+func SolveDense(a *Dense, b []float64) ([]float64, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}

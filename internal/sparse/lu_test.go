@@ -1,0 +1,118 @@
+package sparse
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLUSolveKnownSystem(t *testing.T) {
+	// A = [[2,1],[1,3]], b = [5, 10] -> x = [1, 3]
+	a := NewDense(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 3)
+	x, err := SolveDense(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewDense(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	_, err := SolveDense(a, []float64{1, 2})
+	if !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestLUNonSquare(t *testing.T) {
+	if _, err := FactorLU(NewDense(2, 3)); err == nil {
+		t.Fatal("FactorLU on non-square matrix returned nil error")
+	}
+}
+
+func TestLUSolveDimensionMismatch(t *testing.T) {
+	f, err := FactorLU(Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve([]float64{1, 2}); err == nil {
+		t.Fatal("Solve with wrong-length b returned nil error")
+	}
+}
+
+// Property: for random well-conditioned-ish systems, A * Solve(A, b) == b.
+func TestLUResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(15)
+		a := NewDense(n, n)
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				a.Set(r, c, rng.NormFloat64())
+			}
+			// Diagonal boost keeps the matrix comfortably non-singular.
+			a.Set(r, r, a.At(r, r)+float64(n))
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := SolveDense(a, b)
+		if err != nil {
+			return false
+		}
+		res := make([]float64, n)
+		a.MulVec(res, x)
+		for i := range res {
+			if math.Abs(res[i]-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(42))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveMatrixIdentityGivesInverse(t *testing.T) {
+	a := NewDense(3, 3)
+	vals := [][]float64{{4, 1, 0}, {1, 3, 1}, {0, 1, 2}}
+	for r := range vals {
+		for c := range vals[r] {
+			a.Set(r, c, vals[r][c])
+		}
+	}
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := f.SolveMatrix(Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := a.Mul(inv)
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			want := 0.0
+			if r == c {
+				want = 1
+			}
+			if math.Abs(prod.At(r, c)-want) > 1e-10 {
+				t.Fatalf("A*inv(A) at (%d,%d) = %v, want %v", r, c, prod.At(r, c), want)
+			}
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package sparse
+
+import "math"
+
+// Dot returns the inner product of a and b. The slices must have equal length.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("sparse: Dot length mismatch")
+	}
+	sum := 0.0
+	for i, v := range a {
+		sum += v * b[i]
+	}
+	return sum
+}
+
+// Sum returns the sum of the elements of v.
+func Sum(v []float64) float64 {
+	sum := 0.0
+	for _, x := range v {
+		sum += x
+	}
+	return sum
+}
+
+// Axpy computes dst[i] += alpha * x[i] for all i.
+func Axpy(dst []float64, alpha float64, x []float64) {
+	if len(dst) != len(x) {
+		panic("sparse: Axpy length mismatch")
+	}
+	for i, v := range x {
+		dst[i] += alpha * v
+	}
+}
+
+// ScaleVec multiplies every element of v by s in place.
+func ScaleVec(v []float64, s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// InfNormVec returns max_i |v[i]|, or 0 for an empty slice.
+func InfNormVec(v []float64) float64 {
+	maxAbs := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	return maxAbs
+}
+
+// L1Dist returns the L1 distance between a and b.
+func L1Dist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("sparse: L1Dist length mismatch")
+	}
+	sum := 0.0
+	for i, v := range a {
+		sum += math.Abs(v - b[i])
+	}
+	return sum
+}
+
+// Normalize scales v in place so its elements sum to 1 and returns the
+// original sum. If the sum is zero the vector is left unchanged.
+func Normalize(v []float64) float64 {
+	sum := Sum(v)
+	if sum != 0 {
+		ScaleVec(v, 1/sum)
+	}
+	return sum
+}

@@ -1,0 +1,55 @@
+package statespace
+
+import (
+	"fmt"
+	"testing"
+
+	"guardedop/internal/san"
+)
+
+// tandemModel builds a k-stage tandem of places with forward/backward
+// token movement, giving a state space that grows with k.
+func tandemModel(k, tokens int) *san.Model {
+	m := san.NewModel(fmt.Sprintf("tandem-%d", k))
+	places := make([]*san.Place, k)
+	for i := range places {
+		init := 0
+		if i == 0 {
+			init = tokens
+		}
+		places[i] = m.AddPlace(fmt.Sprintf("p%d", i), init)
+	}
+	for i := 0; i+1 < k; i++ {
+		fwd := m.AddTimedActivity(fmt.Sprintf("f%d", i), san.ConstRate(2)).
+			AddInputArc(places[i], 1)
+		fwd.AddCase(san.ConstProb(1)).AddOutputArc(places[i+1], 1)
+		bwd := m.AddTimedActivity(fmt.Sprintf("b%d", i), san.ConstRate(1)).
+			AddInputArc(places[i+1], 1)
+		bwd.AddCase(san.ConstProb(1)).AddOutputArc(places[i], 1)
+	}
+	return m
+}
+
+func BenchmarkGenerateSmall(b *testing.B) {
+	m := tandemModel(4, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(m, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateLarge(b *testing.B) {
+	m := tandemModel(6, 6) // a few hundred tangible states
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp, err := Generate(m, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(sp.NumStates()), "states")
+		}
+	}
+}

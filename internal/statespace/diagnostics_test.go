@@ -1,0 +1,67 @@
+package statespace
+
+import (
+	"strings"
+	"testing"
+
+	"guardedop/internal/san"
+)
+
+func TestDiagnoseFindsDeadActivity(t *testing.T) {
+	m := san.NewModel("dead")
+	p0 := m.AddPlace("p0", 1)
+	p1 := m.AddPlace("p1", 0)
+	live := m.AddTimedActivity("live", san.ConstRate(1)).AddInputArc(p0, 1)
+	live.AddCase(san.ConstProb(1)).AddOutputArc(p1, 1)
+	// Requires three tokens that never exist: dead.
+	dead := m.AddTimedActivity("dead", san.ConstRate(1)).AddInputArc(p1, 3)
+	dead.AddCase(san.ConstProb(1))
+
+	sp, err := Generate(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := sp.Diagnose()
+	if len(d.DeadActivities) != 1 || d.DeadActivities[0] != "dead" {
+		t.Errorf("DeadActivities = %v, want [dead]", d.DeadActivities)
+	}
+	if d.PlaceBounds["p0"] != 1 || d.PlaceBounds["p1"] != 1 {
+		t.Errorf("PlaceBounds = %v", d.PlaceBounds)
+	}
+	if d.ActivityFanout["live"] != 1 {
+		t.Errorf("ActivityFanout = %v", d.ActivityFanout)
+	}
+	if d.AbsorbingStates != 1 {
+		t.Errorf("AbsorbingStates = %d, want 1", d.AbsorbingStates)
+	}
+
+	var b strings.Builder
+	if err := d.WriteReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"WARNING", "dead", "p0", "live"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDiagnoseCleanModelNoWarnings(t *testing.T) {
+	m, _, _ := cycleModel(1, 2)
+	sp, err := Generate(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := sp.Diagnose()
+	if len(d.DeadActivities) != 0 {
+		t.Errorf("unexpected dead activities: %v", d.DeadActivities)
+	}
+	var b strings.Builder
+	if err := d.WriteReport(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "WARNING") {
+		t.Errorf("unexpected warning:\n%s", b.String())
+	}
+}

@@ -1,0 +1,90 @@
+package statespace
+
+import (
+	"strings"
+	"testing"
+
+	"guardedop/internal/san"
+)
+
+func TestSpaceWriteDot(t *testing.T) {
+	m := san.NewModel("dotmodel")
+	p0 := m.AddPlace("p0", 1)
+	p1 := m.AddPlace("p1", 0)
+	fwd := m.AddTimedActivity("fwd", san.ConstRate(2)).AddInputArc(p0, 1)
+	fwd.AddCase(san.ConstProb(1)).AddOutputArc(p1, 1)
+
+	sp, err := Generate(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := sp.WriteDot(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"digraph \"dotmodel-statespace\"",
+		"init 1",
+		"doublecircle", // the p1 state is absorbing
+		"fwd: 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTransitionsLabelled(t *testing.T) {
+	m := san.NewModel("labels")
+	p0 := m.AddPlace("p0", 1)
+	p1 := m.AddPlace("p1", 0)
+	fwd := m.AddTimedActivity("fwd", san.ConstRate(3)).AddInputArc(p0, 1)
+	fwd.AddCase(san.ConstProb(1)).AddOutputArc(p1, 1)
+	bwd := m.AddTimedActivity("bwd", san.ConstRate(1)).AddInputArc(p1, 1)
+	bwd.AddCase(san.ConstProb(1)).AddOutputArc(p0, 1)
+
+	sp, err := Generate(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Transitions) != 2 {
+		t.Fatalf("transitions = %+v, want 2", sp.Transitions)
+	}
+	for _, tr := range sp.Transitions {
+		switch tr.Activity {
+		case "fwd":
+			if tr.Rate != 3 {
+				t.Errorf("fwd rate = %v", tr.Rate)
+			}
+		case "bwd":
+			if tr.Rate != 1 {
+				t.Errorf("bwd rate = %v", tr.Rate)
+			}
+		default:
+			t.Errorf("unexpected activity %q", tr.Activity)
+		}
+	}
+}
+
+func TestTransitionsAggregateParallelCases(t *testing.T) {
+	// Two cases of one activity landing in the same target state must be
+	// merged into a single labelled transition with summed rate.
+	m := san.NewModel("agg")
+	p0 := m.AddPlace("p0", 1)
+	p1 := m.AddPlace("p1", 0)
+	act := m.AddTimedActivity("go", san.ConstRate(10)).AddInputArc(p0, 1)
+	act.AddCase(san.ConstProb(0.4)).AddOutputArc(p1, 1)
+	act.AddCase(san.ConstProb(0.6)).AddOutputArc(p1, 1)
+
+	sp, err := Generate(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Transitions) != 1 {
+		t.Fatalf("transitions = %+v, want 1 merged", sp.Transitions)
+	}
+	if sp.Transitions[0].Rate != 10 {
+		t.Errorf("merged rate = %v, want 10", sp.Transitions[0].Rate)
+	}
+}

@@ -1,0 +1,201 @@
+// Package textplot renders small ASCII line charts and aligned tables for
+// the command-line experiment reports. It exists so the figure-reproduction
+// commands can show curve shapes directly in a terminal, the way the
+// paper's Figures 9-12 show Y against φ.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve sampled at shared X positions.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// markers cycles through per-series point glyphs, mirroring the paper's
+// solid-dot / hollow-dot / triangle curve styles.
+var markers = []byte{'*', 'o', '^', '+', 'x', '#'}
+
+// Chart renders the series as an ASCII chart of the given size. All series
+// must have len(xs) samples. Width and height are the plot-area dimensions
+// in characters (sensible minimums are enforced).
+func Chart(title string, xs []float64, series []Series, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if len(xs) == 0 || len(series) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, y := range s.Y {
+			yMin = math.Min(yMin, y)
+			yMax = math.Max(yMax, y)
+		}
+	}
+	if yMin == yMax {
+		yMin -= 0.5
+		yMax += 0.5
+	}
+	pad := 0.05 * (yMax - yMin)
+	yMin -= pad
+	yMax += pad
+	xMin, xMax := xs[0], xs[len(xs)-1]
+	if xMin == xMax {
+		xMax = xMin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		c := int(math.Round((x - xMin) / (xMax - xMin) * float64(width-1)))
+		return clamp(c, 0, width-1)
+	}
+	row := func(y float64) int {
+		r := int(math.Round((yMax - y) / (yMax - yMin) * float64(height-1)))
+		return clamp(r, 0, height-1)
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for i, y := range s.Y {
+			if i >= len(xs) || math.IsNaN(y) {
+				continue
+			}
+			grid[row(y)][col(xs[i])] = mark
+		}
+	}
+
+	yLabelW := 9
+	for r, line := range grid {
+		var label string
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.3f", yMax)
+		case height - 1:
+			label = fmt.Sprintf("%8.3f", yMin)
+		default:
+			label = strings.Repeat(" ", 8)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(line))
+	}
+	b.WriteString(strings.Repeat(" ", yLabelW))
+	b.WriteString("+")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%s %-*.0f%*.0f\n", strings.Repeat(" ", yLabelW), width/2, xMin, width-width/2, xMax)
+
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	fmt.Fprintf(&b, "%s %s\n", strings.Repeat(" ", yLabelW), strings.Join(legend, "   "))
+	return b.String()
+}
+
+// Table renders rows with aligned columns. The first row is treated as a
+// header and underlined.
+func Table(rows [][]string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	widths := make([]int, 0)
+	for _, row := range rows {
+		for c, cell := range row {
+			if c >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(row []string) {
+		for c, cell := range row {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[c], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(rows[0])
+	var sep []string
+	for _, w := range widths[:len(rows[0])] {
+		sep = append(sep, strings.Repeat("-", w))
+	}
+	writeRow(sep)
+	for _, row := range rows[1:] {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Histogram renders a horizontal ASCII histogram of the values over the
+// given number of equal-width bins.
+func Histogram(title string, values []float64, bins, width int) string {
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if len(values) == 0 || bins < 1 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if width < 10 {
+		width = 10
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if lo == hi {
+		hi = lo + 1
+	}
+	counts := make([]int, bins)
+	for _, v := range values {
+		idx := int((v - lo) / (hi - lo) * float64(bins))
+		counts[clamp(idx, 0, bins-1)]++
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range counts {
+		left := lo + float64(i)*(hi-lo)/float64(bins)
+		bar := 0
+		if maxCount > 0 {
+			bar = int(math.Round(float64(c) / float64(maxCount) * float64(width)))
+		}
+		fmt.Fprintf(&b, "%12.4g |%-*s %d\n", left, width, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

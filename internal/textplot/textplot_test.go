@@ -1,0 +1,100 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartBasics(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	out := Chart("demo", xs, []Series{
+		{Name: "up", Y: []float64{0, 1, 2, 3}},
+		{Name: "down", Y: []float64{3, 2, 1, 0}},
+	}, 40, 10)
+	if !strings.Contains(out, "demo") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "* up") || !strings.Contains(out, "o down") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("markers missing from plot area")
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	out := Chart("empty", nil, nil, 40, 10)
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty chart output: %q", out)
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	// A flat line must not divide by zero.
+	out := Chart("", []float64{0, 1}, []Series{{Name: "flat", Y: []float64{1, 1}}}, 30, 6)
+	if !strings.Contains(out, "flat") {
+		t.Error("flat series legend missing")
+	}
+}
+
+func TestChartEnforcesMinimumSize(t *testing.T) {
+	out := Chart("", []float64{0, 1}, []Series{{Name: "s", Y: []float64{0, 1}}}, 1, 1)
+	if len(strings.Split(out, "\n")) < 5 {
+		t.Errorf("chart too small:\n%s", out)
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([][]string{
+		{"phi", "Y"},
+		{"0", "1.000"},
+		{"7000", "1.537"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "----") {
+		t.Errorf("missing header underline:\n%s", out)
+	}
+	if !strings.Contains(lines[3], "7000") || !strings.Contains(lines[3], "1.537") {
+		t.Errorf("row content wrong:\n%s", out)
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	if got := Table(nil); got != "" {
+		t.Errorf("Table(nil) = %q, want empty", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if clamp(-1, 0, 5) != 0 || clamp(7, 0, 5) != 5 || clamp(3, 0, 5) != 3 {
+		t.Error("clamp broken")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	out := Histogram("h", []float64{1, 1, 1, 2, 3, 3}, 3, 20)
+	if !strings.Contains(out, "h") || !strings.Contains(out, "#") {
+		t.Errorf("histogram output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title + 3 bins
+		t.Errorf("histogram has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasSuffix(lines[1], "3") {
+		t.Errorf("first bin count wrong:\n%s", out)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	if out := Histogram("", nil, 3, 20); !strings.Contains(out, "(no data)") {
+		t.Errorf("empty histogram: %q", out)
+	}
+	// Constant values must not divide by zero.
+	out := Histogram("", []float64{5, 5, 5}, 2, 5)
+	if !strings.Contains(out, "#") {
+		t.Errorf("constant histogram: %q", out)
+	}
+}

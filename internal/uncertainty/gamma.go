@@ -1,0 +1,117 @@
+// Package uncertainty propagates parameter uncertainty through the
+// performability analysis.
+//
+// The paper determines µ_new, the upgraded component's fault-manifestation
+// rate, from onboard validation ("onboard extended testing leads to a
+// better estimation of the fault-manifestation rate", Section 2, citing
+// Bayesian reliability analysis). That estimate is uncertain, and the
+// optimal guarded-operation duration is sensitive to it (Figure 9). This
+// package closes the loop:
+//
+//   - a conjugate Gamma posterior for an exponential fault rate, updated
+//     from the validation exposure (hours observed, faults seen);
+//   - Monte-Carlo propagation of that posterior through the analyzer,
+//     yielding distributions of the optimal duration φ* and the achievable
+//     index Y*;
+//   - a robust duration choice: the φ maximising the posterior-expected
+//     index E_µ[Y(φ)], which hedges against the rate being worse than its
+//     point estimate.
+package uncertainty
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Gamma is a Gamma(shape k, rate λ) distribution over a positive rate
+// parameter; mean k/λ, variance k/λ².
+type Gamma struct {
+	Shape float64
+	Rate  float64
+}
+
+// Validate checks the distribution parameters.
+func (g Gamma) Validate() error {
+	if g.Shape <= 0 || math.IsNaN(g.Shape) || math.IsInf(g.Shape, 0) {
+		return fmt.Errorf("uncertainty: gamma shape %g must be positive", g.Shape)
+	}
+	if g.Rate <= 0 || math.IsNaN(g.Rate) || math.IsInf(g.Rate, 0) {
+		return fmt.Errorf("uncertainty: gamma rate %g must be positive", g.Rate)
+	}
+	return nil
+}
+
+// Mean returns k/λ.
+func (g Gamma) Mean() float64 { return g.Shape / g.Rate }
+
+// Variance returns k/λ².
+func (g Gamma) Variance() float64 { return g.Shape / (g.Rate * g.Rate) }
+
+// Sample draws one variate by the Marsaglia–Tsang squeeze method (with the
+// standard boost for shape < 1).
+func (g Gamma) Sample(rng *rand.Rand) float64 {
+	shape := g.Shape
+	boost := 1.0
+	if shape < 1 {
+		// X_k = X_{k+1} · U^{1/k}.
+		boost = math.Pow(rng.Float64(), 1/shape)
+		shape++
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return boost * d * v / g.Rate
+		}
+		if math.Log(u) < 0.5*x*x+d-d*v+d*math.Log(v) {
+			return boost * d * v / g.Rate
+		}
+	}
+}
+
+// PosteriorRate performs the conjugate update for an exponential event rate
+// observed over an exposure: prior Gamma(k, λ), data "faults events in
+// hours of exposure" → posterior Gamma(k + faults, λ + hours). This is the
+// classical Bayesian treatment of the onboard-validation fault log.
+func PosteriorRate(prior Gamma, faults int, hours float64) (Gamma, error) {
+	if err := prior.Validate(); err != nil {
+		return Gamma{}, err
+	}
+	if faults < 0 {
+		return Gamma{}, fmt.Errorf("uncertainty: negative fault count %d", faults)
+	}
+	if hours < 0 || math.IsNaN(hours) || math.IsInf(hours, 0) {
+		return Gamma{}, fmt.Errorf("uncertainty: invalid exposure %g", hours)
+	}
+	return Gamma{Shape: prior.Shape + float64(faults), Rate: prior.Rate + hours}, nil
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of a sample by linear
+// interpolation of the order statistics. The input slice must be sorted.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

@@ -1,0 +1,123 @@
+package uncertainty
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"guardedop/internal/core"
+	"guardedop/internal/mdcd"
+)
+
+// PropagateOptions tunes the Monte-Carlo propagation.
+type PropagateOptions struct {
+	// Samples is the number of posterior draws (default 200).
+	Samples int
+	// Seed seeds the deterministic draw stream (default 1).
+	Seed int64
+	// GridPoints is the φ-grid resolution used both for the per-sample
+	// optimum and the robust choice (default 20 intervals over [0, θ]).
+	GridPoints int
+}
+
+func (o PropagateOptions) withDefaults() PropagateOptions {
+	if o.Samples == 0 {
+		o.Samples = 200
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.GridPoints == 0 {
+		o.GridPoints = 20
+	}
+	return o
+}
+
+// Propagation holds the posterior-propagated decision quantities.
+type Propagation struct {
+	// MuSamples are the posterior draws of µ_new (sorted).
+	MuSamples []float64
+	// PhiStars are the per-draw optimal durations, aligned with MuSamples'
+	// original draw order and then sorted.
+	PhiStars []float64
+	// MaxYs are the per-draw maximal indices (sorted).
+	MaxYs []float64
+	// RobustPhi maximises the posterior-expected index E_µ[Y(φ)] over the
+	// grid, and RobustEY is that expected index.
+	RobustPhi float64
+	RobustEY  float64
+	// PlugInPhi is the optimum computed at the posterior-mean rate — the
+	// non-Bayesian plug-in decision, for comparison.
+	PlugInPhi float64
+}
+
+// Propagate draws µ_new from the posterior, evaluates the Y(φ) curve for
+// each draw, and aggregates the optimal-duration distribution together
+// with the robust (posterior-expected-Y) duration choice.
+func Propagate(p mdcd.Params, posterior Gamma, opts PropagateOptions) (*Propagation, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := posterior.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	if opts.Samples < 2 {
+		return nil, fmt.Errorf("uncertainty: need at least 2 samples, got %d", opts.Samples)
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	grid := core.SweepGrid(p.Theta, opts.GridPoints)
+	sumY := make([]float64, len(grid))
+
+	out := &Propagation{}
+	for s := 0; s < opts.Samples; s++ {
+		mu := posterior.Sample(rng)
+		params := p
+		params.MuNew = mu
+		a, err := core.NewAnalyzer(params)
+		if err != nil {
+			return nil, fmt.Errorf("uncertainty: sample %d (mu=%g): %w", s, mu, err)
+		}
+		results, err := a.Curve(grid)
+		if err != nil {
+			return nil, fmt.Errorf("uncertainty: sample %d (mu=%g): %w", s, mu, err)
+		}
+		best := results[0]
+		for i, r := range results {
+			sumY[i] += r.Y
+			if r.Y > best.Y {
+				best = r
+			}
+		}
+		out.MuSamples = append(out.MuSamples, mu)
+		out.PhiStars = append(out.PhiStars, best.Phi)
+		out.MaxYs = append(out.MaxYs, best.Y)
+	}
+
+	bestIdx := 0
+	for i := range sumY {
+		if sumY[i] > sumY[bestIdx] {
+			bestIdx = i
+		}
+	}
+	out.RobustPhi = grid[bestIdx]
+	out.RobustEY = sumY[bestIdx] / float64(opts.Samples)
+
+	plugIn := p
+	plugIn.MuNew = posterior.Mean()
+	a, err := core.NewAnalyzer(plugIn)
+	if err != nil {
+		return nil, err
+	}
+	best, err := a.OptimalPhi(grid)
+	if err != nil {
+		return nil, err
+	}
+	out.PlugInPhi = best.Phi
+
+	sort.Float64s(out.MuSamples)
+	sort.Float64s(out.PhiStars)
+	sort.Float64s(out.MaxYs)
+	return out, nil
+}
