@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench repro coverage clean
+.PHONY: all build vet test test-short race selfcheck bench repro coverage clean
 
 all: build vet test
 
@@ -18,6 +18,15 @@ test:
 # Skips the Monte-Carlo validation suites.
 test-short:
 	$(GO) test -short ./...
+
+# Race-enabled short suite — the CI gate.
+race:
+	$(GO) test -race -short ./...
+
+# Health gate: analyzer invariant suite + short simulator cross-check
+# (exit code 2 on an invariant violation; see docs/ROBUSTNESS.md).
+selfcheck:
+	$(GO) run ./cmd/gsueval -selfcheck
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -6,32 +6,71 @@
 //
 //	gsueval -list
 //	gsueval -experiment fig9
-//	gsueval -all
+//	gsueval -all [-keep-going] [-timeout 2m]
 //	gsueval -sweep -theta 10000 -munew 1e-4 -coverage 0.95 -alpha 6000 -beta 6000
+//	gsueval -selfcheck
 //
 // The -sweep mode evaluates Y(φ) on a custom parameter set, printing the
 // curve, the optimal duration, and every constituent measure at the
 // optimum — the workflow a designer would use to pick φ for their own
 // system.
+//
+// The -selfcheck mode is a health gate: it runs the analyzer invariant
+// suite on the given parameters (defaulting to the paper's Table 3
+// baseline) plus a short simulator cross-check of the model translation.
+//
+// Exit codes: 0 success; 1 usage or runtime error; 2 self-check failure;
+// 3 partial success (-all -keep-going with some experiments failed).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"os"
-	"path/filepath"
 
 	"guardedop/internal/core"
 	"guardedop/internal/experiments"
 	"guardedop/internal/mdcd"
+	"guardedop/internal/robust"
 	"guardedop/internal/textplot"
 )
+
+// Exit codes of the command, kept distinct so CI gates can tell a broken
+// toolkit (2) from a broken experiment (3) from a usage error (1).
+const (
+	exitOK            = 0
+	exitFailure       = 1
+	exitSelfCheckFail = 2
+	exitPartial       = 3
+)
+
+// codedError carries a specific process exit code up to main.
+type codedError struct {
+	code int
+	err  error
+}
+
+func (e *codedError) Error() string { return e.err.Error() }
+func (e *codedError) Unwrap() error { return e.err }
+
+// exitCode maps an error from run to the process exit code.
+func exitCode(err error) int {
+	if err == nil {
+		return exitOK
+	}
+	var ce *codedError
+	if errors.As(err, &ce) {
+		return ce.code
+	}
+	return exitFailure
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "gsueval:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
 }
 
@@ -43,9 +82,12 @@ func run(args []string) error {
 		all        = fs.Bool("all", false, "run every experiment")
 		outDir     = fs.String("out", "", "with -all: also write each report to <dir>/<id>.txt")
 		sweepMode  = fs.Bool("sweep", false, "sweep Y(phi) for a custom parameter set")
+		selfcheck  = fs.Bool("selfcheck", false, "run the invariant suite and simulator cross-check as a health gate")
 		optimize   = fs.Bool("optimize", false, "with -sweep: also refine the optimal phi continuously (golden-section)")
 		csvOut     = fs.Bool("csv", false, "emit CSV data instead of a text report (figure experiments and -sweep)")
 		points     = fs.Int("points", 10, "number of sweep intervals covering [0, theta]")
+		timeout    = fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+		keepGoing  = fs.Bool("keep-going", false, "skip failed experiments or sweep points and report them at the end")
 
 		theta    = fs.Float64("theta", 10000, "time to next upgrade (hours)")
 		lambda   = fs.Float64("lambda", 1200, "message-sending rate (1/h)")
@@ -60,6 +102,18 @@ func run(args []string) error {
 		return err
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	params := mdcd.Params{
+		Theta: *theta, Lambda: *lambda, MuNew: *muNew, MuOld: *muOld,
+		Coverage: *coverage, PExt: *pExt, Alpha: *alpha, Beta: *beta,
+	}
+
 	switch {
 	case *list:
 		rows := [][]string{{"id", "title"}}
@@ -69,34 +123,23 @@ func run(args []string) error {
 		fmt.Print(textplot.Table(rows))
 		return nil
 
+	case *selfcheck:
+		return selfCheck(ctx, params, os.Stdout)
+
 	case *all:
-		if *outDir != "" {
-			if err := os.MkdirAll(*outDir, 0o755); err != nil {
-				return err
-			}
+		rep, err := experiments.RunAll(ctx, os.Stdout, experiments.RunOptions{
+			KeepGoing: *keepGoing,
+			OutDir:    *outDir,
+			Divider:   divider,
+		})
+		if err != nil {
+			return err
 		}
-		for i, e := range experiments.All() {
-			if i > 0 {
-				fmt.Printf("\n%s\n\n", divider)
-			}
-			var w io.Writer = os.Stdout
-			var file *os.File
-			if *outDir != "" {
-				var err error
-				file, err = os.Create(filepath.Join(*outDir, e.ID+".txt"))
-				if err != nil {
-					return err
-				}
-				w = io.MultiWriter(os.Stdout, file)
-			}
-			err := e.Run(w)
-			if file != nil {
-				if cerr := file.Close(); err == nil {
-					err = cerr
-				}
-			}
-			if err != nil {
-				return fmt.Errorf("%s: %w", e.ID, err)
+		if rep.Report.Failed() > 0 {
+			fmt.Printf("\n%s\n", rep.Summary())
+			return &codedError{
+				code: exitPartial,
+				err:  fmt.Errorf("completed with %d/%d experiments failed", rep.Report.Failed(), rep.Report.Total),
 			}
 		}
 		return nil
@@ -116,31 +159,38 @@ func run(args []string) error {
 		return e.Run(os.Stdout)
 
 	case *sweepMode:
-		p := mdcd.Params{
-			Theta: *theta, Lambda: *lambda, MuNew: *muNew, MuOld: *muOld,
-			Coverage: *coverage, PExt: *pExt, Alpha: *alpha, Beta: *beta,
-		}
-		return sweep(p, *points, *optimize, *csvOut)
+		return sweep(ctx, params, *points, *optimize, *csvOut, *keepGoing)
 
 	default:
 		fs.Usage()
-		return fmt.Errorf("choose one of -list, -experiment, -all, -sweep")
+		return fmt.Errorf("choose one of -list, -experiment, -all, -sweep, -selfcheck")
 	}
 }
 
 const divider = "================================================================"
 
-func sweep(p mdcd.Params, points int, refine, csvOut bool) error {
+func sweep(ctx context.Context, p mdcd.Params, points int, refine, csvOut, keepGoing bool) error {
 	a, err := core.NewAnalyzer(p)
 	if err != nil {
 		return err
 	}
-	if csvOut {
-		phis := core.SweepGrid(p.Theta, points)
-		results, err := a.Curve(phis)
-		if err != nil {
-			return err
+	grid := core.SweepGrid(p.Theta, points)
+	pr, err := a.CurvePartial(ctx, grid)
+	if err != nil {
+		return err
+	}
+	if !keepGoing {
+		if rerr := pr.Report.Err(); rerr != nil {
+			return fmt.Errorf("%v (rerun with -keep-going to sweep the surviving points)", rerr)
 		}
+	}
+	results := pr.Successes()
+	phis := make([]float64, 0, len(results))
+	for _, i := range pr.SuccessIndices() {
+		phis = append(phis, grid[i])
+	}
+
+	if csvOut {
 		c := experiments.Curve{Label: "sweep", Params: p, Phis: phis, Results: results}
 		return experiments.WriteResultsCSV(os.Stdout, c)
 	}
@@ -148,11 +198,6 @@ func sweep(p mdcd.Params, points int, refine, csvOut bool) error {
 	fmt.Printf("parameters: %+v\n", p)
 	fmt.Printf("derived overhead parameters: rho1 = %.4f, rho2 = %.4f\n\n", rho1, rho2)
 
-	phis := core.SweepGrid(p.Theta, points)
-	results, err := a.Curve(phis)
-	if err != nil {
-		return err
-	}
 	rows := [][]string{{"phi", "Y", "E[W_phi]", "Y^S1", "Y^S2", "gamma", "P(S1)"}}
 	best := results[0]
 	var ys []float64
@@ -175,9 +220,13 @@ func sweep(p mdcd.Params, points int, refine, csvOut bool) error {
 	fmt.Println()
 	fmt.Print(textplot.Chart("Y vs phi", phis, []textplot.Series{{Name: "Y", Y: ys}}, 66, 14))
 	fmt.Println()
+	if pr.Report.Failed() > 0 {
+		fmt.Printf("note: %d of %d sweep points were skipped:\n%s\n\n",
+			pr.Report.Failed(), pr.Report.Total, pr.Report.Summary())
+	}
 	fmt.Printf("optimal phi (grid) = %.0f with Y = %.4f\n", best.Phi, best.Y)
 	if refine {
-		refined, err := a.OptimizePhi(core.OptimizeOptions{})
+		refined, err := a.OptimizePhiContext(ctx, core.OptimizeOptions{})
 		if err != nil {
 			return err
 		}
@@ -199,4 +248,13 @@ func sweep(p mdcd.Params, points int, refine, csvOut bool) error {
 		{"int_phi^theta f", fmt.Sprintf("%.3e", best.IntF)},
 	}))
 	return nil
+}
+
+// selfCheckError tags a failed health gate with exit code 2 unless the
+// failure was a cancellation (which stays a plain runtime error).
+func selfCheckError(err error) error {
+	if errors.Is(err, robust.ErrCanceled) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return &codedError{code: exitSelfCheckFail, err: err}
 }

@@ -1,9 +1,13 @@
 package main
 
 import (
+	"errors"
+	"fmt"
 	"os"
 	"strings"
 	"testing"
+
+	"guardedop/internal/robust"
 )
 
 // capture redirects stdout around fn and returns what it printed.
@@ -123,6 +127,83 @@ func TestRunSweepInvalidParams(t *testing.T) {
 		return run([]string{"-sweep", "-lambda", "-3"})
 	}); err == nil {
 		t.Error("invalid lambda accepted")
+	}
+}
+
+func TestExitCodeClassification(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, exitOK},
+		{"plain", errors.New("boom"), exitFailure},
+		{"selfcheck", &codedError{code: exitSelfCheckFail, err: errors.New("invariant")}, exitSelfCheckFail},
+		{"partial", &codedError{code: exitPartial, err: errors.New("3 failed")}, exitPartial},
+		{"wrapped", fmt.Errorf("outer: %w", &codedError{code: exitPartial, err: errors.New("inner")}), exitPartial},
+	}
+	for _, c := range cases {
+		if got := exitCode(c.err); got != c.want {
+			t.Errorf("%s: exitCode = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSelfCheckBaselinePassesCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the simulator cross-check; skipped in -short mode")
+	}
+	out, err := capture(t, func() error { return run([]string{"-selfcheck"}) })
+	if err != nil {
+		t.Fatalf("selfcheck on defaults failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"invariant suite", "Y(0) identity", "simulator cross-check", "self-check: PASS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("selfcheck output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSelfCheckDegenerateParamsExitTwo(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-selfcheck", "-lambda", "0"}) })
+	if err == nil {
+		t.Fatal("selfcheck accepted a degenerate parameter set")
+	}
+	if got := exitCode(err); got != exitSelfCheckFail {
+		t.Errorf("exit code = %d, want %d (err: %v)", got, exitSelfCheckFail, err)
+	}
+	if !errors.Is(err, robust.ErrInvariant) {
+		t.Errorf("failure not classified as invariant violation: %v", err)
+	}
+	if !strings.Contains(out, "FAIL") {
+		t.Errorf("report does not mark the failed check:\n%s", out)
+	}
+}
+
+func TestTimeoutCancelsSweep(t *testing.T) {
+	_, err := capture(t, func() error {
+		return run([]string{"-sweep", "-points", "6", "-timeout", "1ns"})
+	})
+	if !errors.Is(err, robust.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if got := exitCode(err); got != exitFailure {
+		t.Errorf("timeout exit code = %d, want %d", got, exitFailure)
+	}
+}
+
+func TestSweepKeepGoingSkipsBadPoints(t *testing.T) {
+	// MuNew this large makes high-phi points hit the E[W_phi] <= E[W_I]
+	// guard region on some grids; with a clean parameter set keep-going
+	// must behave exactly like the strict mode.
+	out, err := capture(t, func() error {
+		return run([]string{"-sweep", "-points", "4", "-theta", "2000", "-keep-going"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "optimal phi (grid)") {
+		t.Errorf("keep-going sweep lost the optimum:\n%s", out)
 	}
 }
 

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"guardedop/internal/mdcd"
+	"guardedop/internal/robust"
 )
 
 // Analyzer evaluates the performability index Y(φ) for one parameter set.
@@ -175,24 +177,96 @@ func (a *Analyzer) EvaluateWithPolicy(phi float64, policy GammaPolicy) (Result, 
 	res.EWPhi = res.YS1 + res.YS2
 	denom := res.EWI - res.EWPhi
 	if denom <= 0 {
-		return Result{}, fmt.Errorf(
-			"core: E[W_I] - E[W_phi] = %g <= 0 at phi=%g (mission worth exceeded the ideal bound)", denom, phi)
+		return Result{}, robust.Diagnose("core.Analyzer", p, phi, fmt.Errorf(
+			"E[W_I] - E[W_phi] = %g <= 0 (mission worth exceeded the ideal bound): %w",
+			denom, robust.ErrInvariant))
 	}
 	res.Y = (res.EWI - res.EW0) / denom
+	if err := res.checkInvariants(); err != nil {
+		return Result{}, robust.Diagnose("core.Analyzer", p, phi, err)
+	}
 	return res, nil
 }
 
-// Curve evaluates Y at each φ in phis.
-func (a *Analyzer) Curve(phis []float64) ([]Result, error) {
-	out := make([]Result, 0, len(phis))
-	for _, phi := range phis {
-		r, err := a.Evaluate(phi)
-		if err != nil {
-			return nil, err
+// probabilityTol absorbs solver round-off when asserting that a computed
+// probability lies in [0,1].
+const probabilityTol = 1e-9
+
+// checkInvariants asserts the model-level invariants of one evaluation:
+// every constituent probability lies in [0,1], the discount γ lies in
+// [0,1], the expected worths are finite, and E[W_φ] never exceeds the
+// ideal-mission bound E[W_I]. Violations mean the parameter set drove the
+// translation into a degenerate region; they wrap robust.ErrInvariant (or
+// robust.ErrNonFinite) so sweeps can skip-and-report them.
+func (r *Result) checkInvariants() error {
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"P(X'_phi in A'_1)", r.Gd.PA1},
+		{"P(X''_theta in A''_1)", r.PNoFailNewTheta},
+		{"P(X''_(theta-phi) in A''_1)", r.PNoFailNewRem},
+		{"P(S1)", r.PS1},
+		{"int_phi^theta f", r.IntF},
+		{"gamma", r.Gamma},
+		{"rho1", r.Rho1},
+		{"rho2", r.Rho2},
+	} {
+		if err := robust.CheckProbability(c.name, c.v, probabilityTol); err != nil {
+			return err
 		}
-		out = append(out, r)
 	}
-	return out, nil
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"Y", r.Y},
+		{"E[W_0]", r.EW0},
+		{"Y^S1", r.YS1},
+		{"Y^S2", r.YS2},
+	} {
+		if err := robust.CheckFinite(c.name, c.v); err != nil {
+			return err
+		}
+	}
+	return robust.CheckBound("E[W_phi]", r.EWPhi, r.EWI, probabilityTol*r.EWI)
+}
+
+// Curve evaluates Y at each φ in phis, failing on the first degenerate
+// point (the strict historical contract). Sweeps that should survive
+// degenerate regions use CurvePartial instead.
+func (a *Analyzer) Curve(phis []float64) ([]Result, error) {
+	pr, err := a.curveBatch(context.Background(), phis, true)
+	if err != nil {
+		// Surface the per-point cause, not the batch wrapper.
+		if len(pr.Report.Failures) > 0 {
+			return nil, pr.Report.Failures[0].Err
+		}
+		return nil, err
+	}
+	return pr.Results, nil
+}
+
+// CurvePartial evaluates Y at each φ through the fault-tolerant batch
+// runner: a φ whose evaluation fails (degenerate measures, invariant
+// violation, non-finite solve) is skipped and recorded in the report
+// instead of aborting the sweep. The error is non-nil only when the
+// context is canceled or every point fails.
+func (a *Analyzer) CurvePartial(ctx context.Context, phis []float64) (*robust.PartialResult[Result], error) {
+	pr, err := a.curveBatch(ctx, phis, false)
+	if err != nil {
+		return pr, err
+	}
+	if len(phis) > 0 && pr.Report.Succeeded() == 0 {
+		return pr, fmt.Errorf("core: every phi in the sweep failed: %w", pr.Report.Err())
+	}
+	return pr, nil
+}
+
+func (a *Analyzer) curveBatch(ctx context.Context, phis []float64, strict bool) (*robust.PartialResult[Result], error) {
+	return robust.RunBatch(ctx, phis, func(_ context.Context, phi float64) (Result, error) {
+		return a.Evaluate(phi)
+	}, robust.BatchOptions{StopOnError: strict})
 }
 
 // OptimalPhi evaluates the given candidate durations and returns the result

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+
+	"guardedop/internal/robust"
 )
 
 // goldenRatio conjugate: the interior-point fraction of golden-section
@@ -28,6 +31,14 @@ type OptimizeOptions struct {
 // produce multiple local maxima, the coarse grid keeps the search on the
 // global one at grid resolution.
 func (a *Analyzer) OptimizePhi(opts OptimizeOptions) (Result, error) {
+	return a.OptimizePhiContext(context.Background(), opts)
+}
+
+// OptimizePhiContext is OptimizePhi with cancellation support and a
+// fault-tolerant coarse grid: grid points whose evaluation fails are
+// skipped (the bracket forms over the survivors) and the search errors
+// only when every grid point fails or the context is canceled.
+func (a *Analyzer) OptimizePhiContext(ctx context.Context, opts OptimizeOptions) (Result, error) {
 	if opts.GridPoints == 0 {
 		opts.GridPoints = 20
 	}
@@ -46,19 +57,24 @@ func (a *Analyzer) OptimizePhi(opts OptimizeOptions) (Result, error) {
 		return a.EvaluateWithPolicy(phi, opts.Policy)
 	}
 
-	// Coarse bracket.
+	// Coarse bracket over the surviving grid points.
 	grid := SweepGrid(theta, opts.GridPoints)
-	best, err := eval(grid[0])
+	pr, err := robust.RunBatch(ctx, grid, func(_ context.Context, phi float64) (Result, error) {
+		return eval(phi)
+	}, robust.BatchOptions{})
 	if err != nil {
 		return Result{}, err
 	}
-	bestIdx := 0
-	for i := 1; i < len(grid); i++ {
-		r, err := eval(grid[i])
-		if err != nil {
-			return Result{}, err
+	if pr.Report.Succeeded() == 0 {
+		return Result{}, fmt.Errorf("core: every grid point failed: %w", pr.Report.Err())
+	}
+	bestIdx := -1
+	var best Result
+	for i, ok := range pr.OK {
+		if !ok {
+			continue
 		}
-		if r.Y > best.Y {
+		if r := pr.Results[i]; bestIdx < 0 || r.Y > best.Y {
 			best, bestIdx = r, i
 		}
 	}
@@ -69,31 +85,41 @@ func (a *Analyzer) OptimizePhi(opts OptimizeOptions) (Result, error) {
 		return best, nil
 	}
 
-	// Golden-section refinement on [lo, hi].
+	// Golden-section refinement on [lo, hi]. A refinement point that fails
+	// to evaluate (possible when the bracket borders a degenerate region)
+	// ends the refinement and falls back to the best point found so far —
+	// the optimizer's contract is "best surviving duration", not "perfect
+	// bracket".
 	x1 := hi - goldenConjugate*(hi-lo)
 	x2 := lo + goldenConjugate*(hi-lo)
 	r1, err := eval(x1)
 	if err != nil {
-		return Result{}, err
+		return best, nil
 	}
 	r2, err := eval(x2)
 	if err != nil {
-		return Result{}, err
+		if r1.Y > best.Y {
+			best = r1
+		}
+		return best, nil
 	}
 	for hi-lo > opts.Tolerance {
+		if err := ctx.Err(); err != nil {
+			return Result{}, fmt.Errorf("core: OptimizePhi: %w (%v)", robust.ErrCanceled, err)
+		}
 		if r1.Y >= r2.Y {
 			hi = x2
 			x2, r2 = x1, r1
 			x1 = hi - goldenConjugate*(hi-lo)
 			if r1, err = eval(x1); err != nil {
-				return Result{}, err
+				break
 			}
 		} else {
 			lo = x1
 			x1, r1 = x2, r2
 			x2 = lo + goldenConjugate*(hi-lo)
 			if r2, err = eval(x2); err != nil {
-				return Result{}, err
+				break
 			}
 		}
 	}

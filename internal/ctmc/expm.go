@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"guardedop/internal/robust"
 	"guardedop/internal/sparse"
 )
 
@@ -95,6 +96,9 @@ func (c *Chain) TransientExpm(pi0 []float64, t float64) ([]float64, error) {
 	out := make([]float64, c.n)
 	e.VecMul(out, pi0)
 	clampProbabilities(out)
+	if err := robust.CheckFiniteSlice("pi", out); err != nil {
+		return nil, fmt.Errorf("ctmc: TransientExpm output: %w", err)
+	}
 	return out, nil
 }
 
@@ -132,6 +136,9 @@ func (c *Chain) AccumulatedExpm(pi0 []float64, t float64) ([]float64, error) {
 			sum = 0
 		}
 		out[j] = sum
+	}
+	if err := robust.CheckFiniteSlice("acc", out); err != nil {
+		return nil, fmt.Errorf("ctmc: AccumulatedExpm output: %w", err)
 	}
 	return out, nil
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"guardedop/internal/robust"
 	"guardedop/internal/sparse"
 )
 
@@ -36,8 +37,10 @@ const (
 const directSteadyStateLimit = 512
 
 // ErrNotErgodic is returned when an iterative steady-state solver cannot
-// make progress, typically because the chain is reducible.
-var ErrNotErgodic = errors.New("ctmc: steady-state iteration failed to converge (chain may be reducible)")
+// make progress, typically because the chain is reducible. It wraps
+// robust.ErrNotConverged so callers can classify it with the shared
+// taxonomy.
+var ErrNotErgodic = fmt.Errorf("ctmc: steady-state iteration failed to converge (chain may be reducible): %w", robust.ErrNotConverged)
 
 func (o SteadyStateOptions) withDefaults() SteadyStateOptions {
 	if o.Tolerance == 0 {
@@ -149,6 +152,9 @@ func (c *Chain) steadySOR(opts SteadyStateOptions) ([]float64, error) {
 			return nil, ErrNotErgodic
 		}
 		if sparse.L1Dist(x, prev) < opts.Tolerance {
+			if err := robust.CheckFiniteSlice("pi", x); err != nil {
+				return nil, fmt.Errorf("ctmc: SOR steady state: %w", err)
+			}
 			return x, nil
 		}
 	}
@@ -171,6 +177,9 @@ func (c *Chain) steadyPower(opts SteadyStateOptions) ([]float64, error) {
 		p.VecMul(next, x)
 		sparse.Normalize(next)
 		if sparse.L1Dist(next, x) < opts.Tolerance {
+			if err := robust.CheckFiniteSlice("pi", next); err != nil {
+				return nil, fmt.Errorf("ctmc: power-iteration steady state: %w", err)
+			}
 			return next, nil
 		}
 		x, next = next, x

@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 
+	"guardedop/internal/robust"
 	"guardedop/internal/sparse"
 )
 
@@ -256,5 +257,11 @@ func TestAccumulatedUntilAbsorptionMatchesLongHorizon(t *testing.T) {
 	}
 	if math.Abs(exact-longRun) > 1e-6*exact {
 		t.Errorf("until-absorption %v vs long-horizon %v", exact, longRun)
+	}
+}
+
+func TestErrNotErgodicClassifiesAsNotConverged(t *testing.T) {
+	if !errors.Is(ErrNotErgodic, robust.ErrNotConverged) {
+		t.Error("ErrNotErgodic does not wrap robust.ErrNotConverged")
 	}
 }

@@ -1,5 +1,11 @@
 package ctmc
 
+import (
+	"fmt"
+
+	"guardedop/internal/robust"
+)
+
 // uniformizationBudget is the largest q·t for which uniformization is chosen
 // automatically. Beyond it (stiff horizons) the dense matrix exponential is
 // asymptotically far cheaper: O(log2(qt)·n³) instead of O(qt·nnz).
@@ -63,6 +69,9 @@ func dotChecked(rates, pi []float64) (float64, error) {
 	sum := 0.0
 	for i, r := range rates {
 		sum += r * pi[i]
+	}
+	if err := robust.CheckFinite("reward", sum); err != nil {
+		return 0, fmt.Errorf("ctmc: %w", err)
 	}
 	return sum, nil
 }

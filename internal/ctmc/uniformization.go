@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"guardedop/internal/robust"
 	"guardedop/internal/sparse"
 )
 
@@ -119,7 +120,8 @@ func (c *Chain) uniformize(pi0 []float64, t float64, opts UniformizationOptions,
 			break
 		}
 		if k >= maxIter {
-			return nil, nil, fmt.Errorf("ctmc: uniformization exceeded %d iterations (qt=%g)", maxIter, q*t)
+			return nil, nil, fmt.Errorf("ctmc: uniformization exceeded %d iterations (qt=%g): %w",
+				maxIter, q*t, robust.ErrNotConverged)
 		}
 		p.VecMul(next, v)
 		if !opts.DisableSteadyStateDetection {
@@ -134,11 +136,26 @@ func (c *Chain) uniformize(pi0 []float64, t float64, opts UniformizationOptions,
 					}
 				}
 				copy(pi, out)
-				return pi, acc, nil
+				return pi, acc, checkUniformized(pi, acc, wantAccumulated)
 			}
 		}
 		v, next = next, v
 	}
 	copy(pi, out)
-	return pi, acc, nil
+	return pi, acc, checkUniformized(pi, acc, wantAccumulated)
+}
+
+// checkUniformized guards the uniformization outputs against NaN/Inf
+// contamination (which a pathological generator can smuggle through the
+// vector iteration without tripping any intermediate check).
+func checkUniformized(pi, acc []float64, wantAccumulated bool) error {
+	if err := robust.CheckFiniteSlice("pi", pi); err != nil {
+		return fmt.Errorf("ctmc: uniformization output: %w", err)
+	}
+	if wantAccumulated {
+		if err := robust.CheckFiniteSlice("acc", acc); err != nil {
+			return fmt.Errorf("ctmc: uniformization accumulated output: %w", err)
+		}
+	}
+	return nil
 }

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"guardedop/internal/robust"
+)
+
+// RunOptions configures a batch run of every registered experiment.
+type RunOptions struct {
+	// KeepGoing skips a failed experiment (recording it in the report)
+	// instead of aborting the batch at the first failure.
+	KeepGoing bool
+	// OutDir, when non-empty, additionally writes each experiment's report
+	// to <OutDir>/<id>.txt.
+	OutDir string
+	// Divider, when non-empty, is printed between consecutive experiment
+	// reports.
+	Divider string
+}
+
+// RunReport summarises a batch run of the experiment suite.
+type RunReport struct {
+	// IDs lists every experiment submitted, in run order.
+	IDs []string
+	// Report carries the per-experiment failures, indexed into IDs.
+	Report *robust.Report
+}
+
+// FailedIDs returns the ids of the experiments that failed.
+func (r *RunReport) FailedIDs() []string {
+	out := make([]string, 0, r.Report.Failed())
+	for _, f := range r.Report.Failures {
+		out = append(out, r.IDs[f.Index])
+	}
+	return out
+}
+
+// Summary renders a one-line-per-failure account naming experiment ids.
+func (r *RunReport) Summary() string {
+	if r.Report.Failed() == 0 {
+		return fmt.Sprintf("all %d experiments succeeded", r.Report.Total)
+	}
+	s := fmt.Sprintf("%d/%d experiments failed:", r.Report.Failed(), r.Report.Total)
+	for _, f := range r.Report.Failures {
+		s += fmt.Sprintf("\n  %s: %v", r.IDs[f.Index], f.Err)
+	}
+	return s
+}
+
+// RunAll executes every registered experiment in id order, writing each
+// report to w (and optionally to per-experiment files). A panicking or
+// failing experiment is recorded in the returned report; with
+// opts.KeepGoing the batch continues past it, otherwise the batch stops
+// there. The error is non-nil when the context is canceled, when
+// KeepGoing is off and an experiment failed, or when an output file
+// cannot be created.
+//
+// The RunReport is always returned (also alongside a non-nil error) so
+// callers can tell which experiments completed.
+func RunAll(ctx context.Context, w io.Writer, opts RunOptions) (*RunReport, error) {
+	if opts.OutDir != "" {
+		if err := os.MkdirAll(opts.OutDir, 0o755); err != nil {
+			return &RunReport{Report: &robust.Report{}}, err
+		}
+	}
+	all := All()
+	rep := &RunReport{IDs: make([]string, len(all))}
+	for i, e := range all {
+		rep.IDs[i] = e.ID
+	}
+	first := true
+	pr, err := robust.RunBatch(ctx, all, func(_ context.Context, e Experiment) (struct{}, error) {
+		if !first && opts.Divider != "" {
+			fmt.Fprintf(w, "\n%s\n\n", opts.Divider)
+		}
+		first = false
+		out := w
+		var file *os.File
+		if opts.OutDir != "" {
+			var err error
+			file, err = os.Create(filepath.Join(opts.OutDir, e.ID+".txt"))
+			if err != nil {
+				return struct{}{}, err
+			}
+			out = io.MultiWriter(w, file)
+		}
+		err := e.Run(out)
+		if file != nil {
+			if cerr := file.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			return struct{}{}, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		return struct{}{}, nil
+	}, robust.BatchOptions{StopOnError: !opts.KeepGoing})
+	rep.Report = pr.Report
+	return rep, err
+}

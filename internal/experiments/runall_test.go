@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"guardedop/internal/robust"
+)
+
+// withTempExperiment registers a throwaway experiment and removes it on
+// cleanup so the suite seen by other tests is unchanged.
+func withTempExperiment(t *testing.T, e Experiment) {
+	t.Helper()
+	register(e)
+	t.Cleanup(func() { delete(registry, e.ID) })
+}
+
+// fastExperiments narrows the registry to a cheap subset plus the
+// injected ones, restoring the full registry on cleanup, so RunAll tests
+// do not drag in Monte-Carlo suites.
+func fastExperiments(t *testing.T, keep ...string) {
+	t.Helper()
+	saved := registry
+	registry = map[string]Experiment{}
+	for _, id := range keep {
+		if e, ok := saved[id]; ok {
+			registry[id] = e
+		}
+	}
+	t.Cleanup(func() { registry = saved })
+}
+
+func TestRunAllKeepGoingRecordsFailuresAndContinues(t *testing.T) {
+	fastExperiments(t, "table3")
+	withTempExperiment(t, Experiment{
+		ID:    "aa-failing",
+		Title: "injected failure",
+		Run: func(w io.Writer) error {
+			return errors.New("injected solver blowup")
+		},
+	})
+	withTempExperiment(t, Experiment{
+		ID:    "zz-panicking",
+		Title: "injected panic",
+		Run: func(w io.Writer) error {
+			panic("index out of range")
+		},
+	})
+	var sb strings.Builder
+	rep, err := RunAll(context.Background(), &sb, RunOptions{KeepGoing: true})
+	if err != nil {
+		t.Fatalf("keep-going run aborted: %v", err)
+	}
+	if rep.Report.Failed() != 2 || rep.Report.Succeeded() != 1 {
+		t.Fatalf("report: %s", rep.Summary())
+	}
+	failed := rep.FailedIDs()
+	if failed[0] != "aa-failing" || failed[1] != "zz-panicking" {
+		t.Errorf("failed ids = %v", failed)
+	}
+	if !errors.Is(rep.Report.Failures[1].Err, robust.ErrPanic) {
+		t.Errorf("panic not classified: %v", rep.Report.Failures[1].Err)
+	}
+	// table3 ran despite aa-failing failing first.
+	if !strings.Contains(sb.String(), "10000") {
+		t.Errorf("surviving experiment produced no output:\n%s", sb.String())
+	}
+	if !strings.Contains(rep.Summary(), "aa-failing") {
+		t.Errorf("summary does not name the failed experiment: %s", rep.Summary())
+	}
+}
+
+func TestRunAllStopsWithoutKeepGoing(t *testing.T) {
+	fastExperiments(t, "table3")
+	withTempExperiment(t, Experiment{
+		ID:    "aa-failing",
+		Title: "injected failure",
+		Run:   func(w io.Writer) error { return errors.New("boom") },
+	})
+	var sb strings.Builder
+	rep, err := RunAll(context.Background(), &sb, RunOptions{})
+	if err == nil {
+		t.Fatal("strict run swallowed the failure")
+	}
+	if rep.Report.Succeeded() != 0 {
+		t.Errorf("experiments ran past the failure: %s", rep.Summary())
+	}
+}
+
+func TestRunAllCancellation(t *testing.T) {
+	fastExperiments(t, "table3")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunAll(ctx, io.Discard, RunOptions{KeepGoing: true})
+	if !errors.Is(err, robust.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestRunAllWritesPerExperimentFiles(t *testing.T) {
+	fastExperiments(t, "table3")
+	dir := t.TempDir()
+	var sb strings.Builder
+	if _, err := RunAll(context.Background(), &sb, RunOptions{OutDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dir + "/table3.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "10000") {
+		t.Errorf("table3.txt incomplete:\n%s", data)
+	}
+}

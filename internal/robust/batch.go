@@ -1,0 +1,189 @@
+package robust
+
+import (
+	"context"
+	"fmt"
+	"strings"
+)
+
+// BatchOptions tunes RunBatch.
+type BatchOptions struct {
+	// Retries is the number of additional attempts per item after the
+	// first (default 0: one attempt).
+	Retries int
+	// Retryable reports whether a failure is transient and worth another
+	// attempt. Nil means no error is retried. Panics are never retried.
+	Retryable func(error) bool
+	// StopOnError aborts the batch at the first failed item instead of
+	// the default skip-and-record behaviour.
+	StopOnError bool
+	// MinSuccessFraction in (0,1] makes RunBatch return an error wrapping
+	// ErrTooManyFailures when fewer than this fraction of items succeed.
+	// Zero disables the floor (any number of survivors is acceptable).
+	MinSuccessFraction float64
+}
+
+// ItemError records one failed batch item.
+type ItemError struct {
+	// Index is the item's position in the input slice.
+	Index int
+	// Attempts is how many times the item was tried.
+	Attempts int
+	// Err is the final failure.
+	Err error
+}
+
+// Report aggregates the per-item failures of one batch run.
+type Report struct {
+	// Total is the number of items submitted.
+	Total int
+	// Completed is the number of items that ran to success. In a batch
+	// stopped early (StopOnError, cancellation) it can be smaller than
+	// Total − len(Failures) would suggest, which is why it is tracked
+	// explicitly.
+	Completed int
+	// Failures lists the failed items in input order.
+	Failures []ItemError
+}
+
+// Failed returns the number of failed items.
+func (r *Report) Failed() int { return len(r.Failures) }
+
+// Succeeded returns the number of items that ran to success.
+func (r *Report) Succeeded() int { return r.Completed }
+
+// Summary renders a compact human-readable account of the failures, one
+// line per failed item, or "all N items succeeded".
+func (r *Report) Summary() string {
+	if len(r.Failures) == 0 {
+		return fmt.Sprintf("all %d items succeeded", r.Total)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d/%d items failed:", len(r.Failures), r.Total)
+	for _, f := range r.Failures {
+		fmt.Fprintf(&b, "\n  item %d (attempts %d): %v", f.Index, f.Attempts, f.Err)
+	}
+	return b.String()
+}
+
+// Err returns nil when every item succeeded, otherwise an error naming the
+// failure count and wrapping the first per-item error.
+func (r *Report) Err() error {
+	if len(r.Failures) == 0 {
+		return nil
+	}
+	first := r.Failures[0]
+	return fmt.Errorf("robust: %d/%d batch items failed, first at %d: %w",
+		len(r.Failures), r.Total, first.Index, first.Err)
+}
+
+// PartialResult carries a batch's successes alongside its failure report.
+type PartialResult[R any] struct {
+	// Results has one entry per input item, aligned by index; entries of
+	// failed items hold the zero value.
+	Results []R
+	// OK[i] reports whether item i succeeded.
+	OK []bool
+	// Report records the failures.
+	Report *Report
+}
+
+// Successes returns the successful results compacted in input order.
+func (p *PartialResult[R]) Successes() []R {
+	out := make([]R, 0, p.Report.Succeeded())
+	for i, ok := range p.OK {
+		if ok {
+			out = append(out, p.Results[i])
+		}
+	}
+	return out
+}
+
+// SuccessIndices returns the input indices of the successful items.
+func (p *PartialResult[R]) SuccessIndices() []int {
+	out := make([]int, 0, p.Report.Succeeded())
+	for i, ok := range p.OK {
+		if ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// RunBatch runs fn over items sequentially with per-item panic recovery,
+// bounded retry of transient failures, and cancellation between items. A
+// failed item is skipped and recorded in the report rather than aborting
+// the batch (unless opts.StopOnError is set).
+//
+// The returned PartialResult is never nil. The error is non-nil only when
+// the batch as a whole is unusable: the context was canceled (wraps
+// ErrCanceled), StopOnError hit a failure, or fewer than
+// opts.MinSuccessFraction of the items survived (wraps ErrTooManyFailures).
+// Per-item failures otherwise live only in the report.
+func RunBatch[T, R any](ctx context.Context, items []T, fn func(ctx context.Context, item T) (R, error), opts BatchOptions) (*PartialResult[R], error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := &PartialResult[R]{
+		Results: make([]R, len(items)),
+		OK:      make([]bool, len(items)),
+		Report:  &Report{Total: len(items)},
+	}
+	record := func(i, attempts int, err error) {
+		out.Report.Failures = append(out.Report.Failures, ItemError{Index: i, Attempts: attempts, Err: err})
+	}
+	for i, item := range items {
+		if err := ctx.Err(); err != nil {
+			// Mark this and every remaining item as canceled so the
+			// report stays a complete account of the batch.
+			for j := i; j < len(items); j++ {
+				record(j, 0, fmt.Errorf("%w: %v", ErrCanceled, err))
+			}
+			return out, fmt.Errorf("robust: batch stopped after %d/%d items: %w (%v)",
+				i, len(items), ErrCanceled, err)
+		}
+		var (
+			res      R
+			err      error
+			panicked bool
+			attempts int
+		)
+		for {
+			attempts++
+			res, err, panicked = runItem(ctx, item, fn)
+			if err == nil || panicked || attempts > opts.Retries ||
+				opts.Retryable == nil || !opts.Retryable(err) || ctx.Err() != nil {
+				break
+			}
+		}
+		if err != nil {
+			record(i, attempts, err)
+			if opts.StopOnError {
+				return out, fmt.Errorf("robust: batch stopped at item %d: %w", i, err)
+			}
+			continue
+		}
+		out.Results[i] = res
+		out.OK[i] = true
+		out.Report.Completed++
+	}
+	if f := opts.MinSuccessFraction; f > 0 && len(items) > 0 {
+		if got := float64(out.Report.Succeeded()) / float64(len(items)); got < f {
+			return out, fmt.Errorf("robust: only %d/%d items succeeded, need fraction %g: %w",
+				out.Report.Succeeded(), len(items), f, ErrTooManyFailures)
+		}
+	}
+	return out, nil
+}
+
+// runItem executes one attempt with panic recovery.
+func runItem[T, R any](ctx context.Context, item T, fn func(context.Context, T) (R, error)) (res R, err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			err = fmt.Errorf("%w: %v", ErrPanic, r)
+		}
+	}()
+	res, err = fn(ctx, item)
+	return res, err, false
+}

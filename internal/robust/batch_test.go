@@ -1,0 +1,176 @@
+package robust
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestRunBatchAllSucceed(t *testing.T) {
+	items := []int{1, 2, 3, 4}
+	pr, err := RunBatch(context.Background(), items, func(_ context.Context, v int) (int, error) {
+		return v * v, nil
+	}, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pr.Successes(); len(got) != 4 || got[3] != 16 {
+		t.Errorf("Successes() = %v", got)
+	}
+	if pr.Report.Failed() != 0 || pr.Report.Err() != nil {
+		t.Errorf("report = %+v", pr.Report)
+	}
+	if pr.Report.Summary() != "all 4 items succeeded" {
+		t.Errorf("Summary() = %q", pr.Report.Summary())
+	}
+}
+
+func TestRunBatchSkipsAndRecordsFailures(t *testing.T) {
+	boom := errors.New("boom")
+	items := []int{0, 1, 2, 3, 4}
+	pr, err := RunBatch(context.Background(), items, func(_ context.Context, v int) (int, error) {
+		if v%2 == 1 {
+			return 0, fmt.Errorf("item %d: %w", v, boom)
+		}
+		return v * 10, nil
+	}, BatchOptions{})
+	if err != nil {
+		t.Fatalf("skip-and-record batch returned %v", err)
+	}
+	if pr.Report.Failed() != 2 || pr.Report.Succeeded() != 3 {
+		t.Fatalf("report counts = %d failed / %d ok", pr.Report.Failed(), pr.Report.Succeeded())
+	}
+	if got := pr.SuccessIndices(); len(got) != 3 || got[0] != 0 || got[2] != 4 {
+		t.Errorf("SuccessIndices() = %v", got)
+	}
+	if !errors.Is(pr.Report.Err(), boom) {
+		t.Errorf("Report.Err() = %v, want wrapped boom", pr.Report.Err())
+	}
+	if pr.Report.Failures[0].Index != 1 || pr.Report.Failures[1].Index != 3 {
+		t.Errorf("failure indices = %+v", pr.Report.Failures)
+	}
+}
+
+func TestRunBatchStopOnError(t *testing.T) {
+	calls := 0
+	_, err := RunBatch(context.Background(), []int{1, 2, 3}, func(_ context.Context, v int) (int, error) {
+		calls++
+		if v == 2 {
+			return 0, errors.New("fatal")
+		}
+		return v, nil
+	}, BatchOptions{StopOnError: true})
+	if err == nil {
+		t.Fatal("StopOnError batch returned nil error")
+	}
+	if calls != 2 {
+		t.Errorf("calls = %d, want 2 (stopped at first failure)", calls)
+	}
+}
+
+func TestRunBatchPanicRecovery(t *testing.T) {
+	pr, err := RunBatch(context.Background(), []int{1, 2, 3}, func(_ context.Context, v int) (int, error) {
+		if v == 2 {
+			panic("index out of range")
+		}
+		return v, nil
+	}, BatchOptions{Retries: 3, Retryable: func(error) bool { return true }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Report.Failed() != 1 {
+		t.Fatalf("report = %+v", pr.Report)
+	}
+	f := pr.Report.Failures[0]
+	if !errors.Is(f.Err, ErrPanic) {
+		t.Errorf("panic not classified: %v", f.Err)
+	}
+	if f.Attempts != 1 {
+		t.Errorf("panicked item retried: attempts = %d, want 1", f.Attempts)
+	}
+}
+
+func TestRunBatchRetryTransient(t *testing.T) {
+	transient := errors.New("transient")
+	attempts := 0
+	pr, err := RunBatch(context.Background(), []int{1}, func(_ context.Context, v int) (int, error) {
+		attempts++
+		if attempts < 3 {
+			return 0, transient
+		}
+		return 42, nil
+	}, BatchOptions{Retries: 2, Retryable: func(err error) bool { return errors.Is(err, transient) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 3 || !pr.OK[0] || pr.Results[0] != 42 {
+		t.Errorf("attempts = %d, result = %+v", attempts, pr)
+	}
+}
+
+func TestRunBatchRetryExhausted(t *testing.T) {
+	transient := errors.New("transient")
+	pr, err := RunBatch(context.Background(), []int{1}, func(_ context.Context, v int) (int, error) {
+		return 0, transient
+	}, BatchOptions{Retries: 2, Retryable: func(err error) bool { return true }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pr.Report.Failures[0].Attempts; got != 3 {
+		t.Errorf("attempts = %d, want 3 (1 + 2 retries)", got)
+	}
+}
+
+func TestRunBatchCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	pr, err := RunBatch(ctx, []int{1, 2, 3, 4}, func(_ context.Context, v int) (int, error) {
+		if v == 2 {
+			cancel()
+		}
+		return v, nil
+	}, BatchOptions{})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled batch returned %v, want ErrCanceled", err)
+	}
+	// Items 1 and 2 ran before the cancellation was observed; 3 and 4 are
+	// recorded as canceled.
+	if pr.Report.Succeeded() != 2 || pr.Report.Failed() != 2 {
+		t.Errorf("report counts = %d ok / %d failed", pr.Report.Succeeded(), pr.Report.Failed())
+	}
+	for _, f := range pr.Report.Failures {
+		if !errors.Is(f.Err, ErrCanceled) {
+			t.Errorf("remaining item %d error = %v, want ErrCanceled", f.Index, f.Err)
+		}
+	}
+}
+
+func TestRunBatchMinSuccessFraction(t *testing.T) {
+	fail := errors.New("bad draw")
+	fn := func(_ context.Context, v int) (int, error) {
+		if v < 6 {
+			return 0, fail
+		}
+		return v, nil
+	}
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9} // 4 of 10 succeed
+	pr, err := RunBatch(context.Background(), items, fn, BatchOptions{MinSuccessFraction: 0.5})
+	if !errors.Is(err, ErrTooManyFailures) {
+		t.Fatalf("err = %v, want ErrTooManyFailures", err)
+	}
+	if pr.Report.Succeeded() != 4 {
+		t.Errorf("succeeded = %d", pr.Report.Succeeded())
+	}
+	if _, err := RunBatch(context.Background(), items, fn, BatchOptions{MinSuccessFraction: 0.4}); err != nil {
+		t.Fatalf("40%% floor rejected 40%% survival: %v", err)
+	}
+}
+
+func TestRunBatchEmpty(t *testing.T) {
+	pr, err := RunBatch(context.Background(), nil, func(_ context.Context, v int) (int, error) {
+		return v, nil
+	}, BatchOptions{MinSuccessFraction: 0.5})
+	if err != nil || pr.Report.Total != 0 {
+		t.Fatalf("empty batch: %v, %+v", err, pr.Report)
+	}
+}

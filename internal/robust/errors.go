@@ -1,0 +1,86 @@
+package robust
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sentinel errors of the taxonomy. Numeric packages wrap these (with
+// fmt.Errorf("...: %w", ...)) so callers can classify failures with
+// errors.Is regardless of which layer produced them.
+var (
+	// ErrNonFinite marks a NaN or ±Inf where a finite value was required —
+	// typically a solver output or a derived measure.
+	ErrNonFinite = errors.New("non-finite value")
+
+	// ErrNotConverged marks an iterative method that exhausted its
+	// iteration budget without meeting its tolerance.
+	ErrNotConverged = errors.New("iteration did not converge")
+
+	// ErrIllConditioned marks a linear system whose solution cannot be
+	// trusted: the refined residual still exceeds tolerance, or a
+	// condition estimate rules the answer meaningless.
+	ErrIllConditioned = errors.New("system is ill-conditioned beyond tolerance")
+
+	// ErrCanceled marks work abandoned because its context was canceled
+	// or timed out.
+	ErrCanceled = errors.New("evaluation canceled")
+
+	// ErrInvariant marks a model-level invariant violation: a probability
+	// outside [0,1], an expected worth exceeding the ideal bound, and the
+	// like. It usually indicates a degenerate parameter set rather than a
+	// solver defect.
+	ErrInvariant = errors.New("model invariant violated")
+
+	// ErrPanic marks a recovered panic inside a batch item.
+	ErrPanic = errors.New("evaluation panicked")
+
+	// ErrTooManyFailures marks a batch whose surviving fraction fell below
+	// the caller's minimum.
+	ErrTooManyFailures = errors.New("too many batch items failed")
+)
+
+// DiagnosticError attaches model provenance to a failure: which model (or
+// pipeline stage) was being evaluated, the parameter set, and the G-OP
+// duration φ that produced it. It unwraps to the underlying cause so
+// errors.Is/As keep working through it.
+type DiagnosticError struct {
+	// Model names the model or stage, e.g. "RMGd" or "core.Analyzer".
+	Model string
+	// Params is a compact rendering of the parameter set under evaluation.
+	Params string
+	// Phi is the guarded-operation duration, or NaN when not applicable.
+	Phi float64
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error renders the diagnostic in one line.
+func (e *DiagnosticError) Error() string {
+	msg := e.Model
+	if e.Params != "" {
+		msg += " " + e.Params
+	}
+	if !math.IsNaN(e.Phi) {
+		msg += fmt.Sprintf(" phi=%g", e.Phi)
+	}
+	return msg + ": " + e.Err.Error()
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *DiagnosticError) Unwrap() error { return e.Err }
+
+// Diagnose wraps err in a DiagnosticError carrying the model name, a %+v
+// rendering of params, and φ (pass math.NaN() when no duration applies).
+// It returns nil when err is nil.
+func Diagnose(model string, params any, phi float64, err error) error {
+	if err == nil {
+		return nil
+	}
+	rendered := ""
+	if params != nil {
+		rendered = fmt.Sprintf("%+v", params)
+	}
+	return &DiagnosticError{Model: model, Params: rendered, Phi: phi, Err: err}
+}

@@ -1,0 +1,88 @@
+package robust
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDiagnoseWrapsAndClassifies(t *testing.T) {
+	base := fmt.Errorf("solver: %w", ErrNonFinite)
+	err := Diagnose("RMGd", struct{ Theta float64 }{1e4}, 2500, base)
+	if !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("errors.Is(ErrNonFinite) = false for %v", err)
+	}
+	var diag *DiagnosticError
+	if !errors.As(err, &diag) {
+		t.Fatalf("errors.As(*DiagnosticError) = false for %v", err)
+	}
+	if diag.Model != "RMGd" || diag.Phi != 2500 {
+		t.Errorf("diagnostic fields = %+v", diag)
+	}
+	for _, want := range []string{"RMGd", "phi=2500", "Theta:10000", "non-finite"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error message %q missing %q", err.Error(), want)
+		}
+	}
+}
+
+func TestDiagnoseNaNPhiOmitted(t *testing.T) {
+	err := Diagnose("core.Analyzer", nil, math.NaN(), ErrInvariant)
+	if strings.Contains(err.Error(), "phi=") {
+		t.Errorf("NaN phi rendered: %q", err.Error())
+	}
+}
+
+func TestDiagnoseNilError(t *testing.T) {
+	if err := Diagnose("m", nil, 0, nil); err != nil {
+		t.Fatalf("Diagnose(nil) = %v, want nil", err)
+	}
+}
+
+func TestCheckFinite(t *testing.T) {
+	if err := CheckFinite("y", 1.5); err != nil {
+		t.Fatalf("finite value rejected: %v", err)
+	}
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		err := CheckFinite("y", v)
+		if !errors.Is(err, ErrNonFinite) {
+			t.Errorf("CheckFinite(%g) = %v, want ErrNonFinite", v, err)
+		}
+	}
+}
+
+func TestCheckFiniteSlice(t *testing.T) {
+	if err := CheckFiniteSlice("pi", []float64{0, 0.5, 0.5}); err != nil {
+		t.Fatalf("finite slice rejected: %v", err)
+	}
+	err := CheckFiniteSlice("pi", []float64{0, math.NaN(), 1})
+	if !errors.Is(err, ErrNonFinite) || !strings.Contains(err.Error(), "pi[1]") {
+		t.Errorf("CheckFiniteSlice = %v, want ErrNonFinite at index 1", err)
+	}
+}
+
+func TestCheckProbability(t *testing.T) {
+	if err := CheckProbability("p", 1+1e-12, 1e-9); err != nil {
+		t.Fatalf("within-tolerance probability rejected: %v", err)
+	}
+	if err := CheckProbability("p", 1.01, 1e-9); !errors.Is(err, ErrInvariant) {
+		t.Errorf("CheckProbability(1.01) = %v, want ErrInvariant", err)
+	}
+	if err := CheckProbability("p", -0.5, 1e-9); !errors.Is(err, ErrInvariant) {
+		t.Errorf("CheckProbability(-0.5) = %v, want ErrInvariant", err)
+	}
+	if err := CheckProbability("p", math.NaN(), 1e-9); !errors.Is(err, ErrNonFinite) {
+		t.Errorf("CheckProbability(NaN) = %v, want ErrNonFinite", err)
+	}
+}
+
+func TestCheckBound(t *testing.T) {
+	if err := CheckBound("E[W]", 9.999, 10, 1e-6); err != nil {
+		t.Fatalf("value under bound rejected: %v", err)
+	}
+	if err := CheckBound("E[W]", 11, 10, 1e-6); !errors.Is(err, ErrInvariant) {
+		t.Errorf("CheckBound over = %v, want ErrInvariant", err)
+	}
+}

@@ -1,0 +1,55 @@
+package robust
+
+import (
+	"fmt"
+	"math"
+)
+
+// CheckFinite returns an error wrapping ErrNonFinite unless v is a finite
+// float. name labels the quantity in the message.
+func CheckFinite(name string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("%s = %g: %w", name, v, ErrNonFinite)
+	}
+	return nil
+}
+
+// CheckFiniteSlice returns an error wrapping ErrNonFinite if any entry of
+// xs is NaN or ±Inf, identifying the first offending index.
+func CheckFiniteSlice(name string, xs []float64) error {
+	for i, v := range xs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%s[%d] = %g: %w", name, i, v, ErrNonFinite)
+		}
+	}
+	return nil
+}
+
+// CheckProbability returns an error wrapping ErrInvariant unless v lies in
+// [0−tol, 1+tol] (and is finite). Solvers legitimately produce values a few
+// ulps outside [0,1]; tol absorbs that while still catching real
+// violations. A non-positive tol means a strict [0,1] check.
+func CheckProbability(name string, v, tol float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("%s = %g: %w", name, v, ErrNonFinite)
+	}
+	if tol < 0 {
+		tol = 0
+	}
+	if v < -tol || v > 1+tol {
+		return fmt.Errorf("%s = %g outside [0,1] (tol %g): %w", name, v, tol, ErrInvariant)
+	}
+	return nil
+}
+
+// CheckBound returns an error wrapping ErrInvariant unless v ≤ bound+tol.
+// It is the guard behind assertions such as E[W_φ] ≤ E[W_I].
+func CheckBound(name string, v, bound, tol float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("%s = %g: %w", name, v, ErrNonFinite)
+	}
+	if v > bound+tol {
+		return fmt.Errorf("%s = %g exceeds bound %g (tol %g): %w", name, v, bound, tol, ErrInvariant)
+	}
+	return nil
+}

@@ -14,6 +14,9 @@ import (
 // and the neglected second-order term of Eq. (19) — so agreement within a
 // few percent validates the whole pipeline.
 func TestSimulationAgreesWithTranslation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo validation; skipped in -short mode")
+	}
 	p := scaledParams()
 	analyzer, err := core.NewAnalyzer(p)
 	if err != nil {
@@ -56,6 +59,9 @@ func TestSimulationAgreesWithTranslation(t *testing.T) {
 // but within the same regime (both on the same side of 1, ordering of the
 // worth terms preserved). The gap is quantified in EXPERIMENTS.md.
 func TestGammaTreatmentsAgreeApproximately(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo validation; skipped in -short mode")
+	}
 	p := scaledParams()
 	analyzer, err := core.NewAnalyzer(p)
 	if err != nil {

@@ -105,14 +105,22 @@ func TestEstimateRhoMatchesAnalytic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rho1, rho2, err := EstimateRho(p, 2000, 5)
+	horizon := 2000.0
+	if testing.Short() {
+		horizon = 500
+	}
+	rho1, rho2, err := EstimateRho(p, horizon, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(rho1-want.Rho1) > 0.005 {
+	tol1, tol2 := 0.005, 0.01
+	if testing.Short() {
+		tol1, tol2 = 0.015, 0.03
+	}
+	if math.Abs(rho1-want.Rho1) > tol1 {
 		t.Errorf("simulated rho1 = %.4f, analytic %.4f", rho1, want.Rho1)
 	}
-	if math.Abs(rho2-want.Rho2) > 0.01 {
+	if math.Abs(rho2-want.Rho2) > tol2 {
 		t.Errorf("simulated rho2 = %.4f, analytic %.4f", rho2, want.Rho2)
 	}
 }
@@ -151,6 +159,17 @@ func TestEstimateYRejectsBadInput(t *testing.T) {
 	}
 }
 
+// mcPaths returns full outside -short mode and a reduced replication count
+// under -short, keeping the race-enabled CI suite inside the package
+// timeout. Assertions whose tolerance scales with the standard error stay
+// valid automatically; count-based assertions must check testing.Short.
+func mcPaths(full int) int {
+	if testing.Short() {
+		return full / 8
+	}
+	return full
+}
+
 // scaledParams returns a parameter set with the same dimensionless products
 // (mu*theta, lambda >> mu, phi/theta) as Table 3 but a far smaller lambda*theta
 // event count, keeping simulation unit tests fast. The paper-scale parameters
@@ -170,7 +189,7 @@ func TestEstimateYAtPhiZeroIsNearOne(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	est, err := s.EstimateY(0, Options{Paths: 8000, Seed: 42})
+	est, err := s.EstimateY(0, Options{Paths: mcPaths(8000), Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,11 +208,11 @@ func TestEstimateYIsDeterministicPerSeed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := s.EstimateY(500, Options{Paths: 2000, Seed: 9})
+	a, err := s.EstimateY(500, Options{Paths: mcPaths(2000), Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := s.EstimateY(500, Options{Paths: 2000, Seed: 9})
+	b, err := s.EstimateY(500, Options{Paths: mcPaths(2000), Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,14 +226,16 @@ func TestEstimateYPathClassesPartition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	est, err := s.EstimateY(700, Options{Paths: 4000, Seed: 17})
+	paths := mcPaths(4000)
+	est, err := s.EstimateY(700, Options{Paths: paths, Seed: 17})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if est.CountS1+est.CountS2+est.CountFailed != 4000 {
+	if est.CountS1+est.CountS2+est.CountFailed != paths {
 		t.Errorf("path classes do not partition: %+v", est)
 	}
-	if est.CountS1 == 0 || est.CountS2 == 0 || est.CountFailed == 0 {
-		t.Errorf("expected all three path classes at phi=7000: %+v", est)
+	// The rarer classes need the full replication count to show up reliably.
+	if !testing.Short() && (est.CountS1 == 0 || est.CountS2 == 0 || est.CountFailed == 0) {
+		t.Errorf("expected all three path classes at phi=700: %+v", est)
 	}
 }

@@ -1,0 +1,100 @@
+package uncertainty
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"guardedop/internal/core"
+	"guardedop/internal/mdcd"
+	"guardedop/internal/robust"
+)
+
+// withFailingAnalyzer swaps the analyzer constructor for one that fails
+// deterministically on a subset of draws, restoring it on cleanup.
+func withFailingAnalyzer(t *testing.T, failEvery int) *int {
+	t.Helper()
+	calls := 0
+	orig := newAnalyzer
+	newAnalyzer = func(p mdcd.Params) (*core.Analyzer, error) {
+		calls++
+		if failEvery > 0 && calls%failEvery == 0 {
+			return nil, fmt.Errorf("injected solver failure (call %d): %w", calls, robust.ErrIllConditioned)
+		}
+		return orig(p)
+	}
+	t.Cleanup(func() { newAnalyzer = orig })
+	return &calls
+}
+
+func TestPropagateSkipsFailedDraws(t *testing.T) {
+	withFailingAnalyzer(t, 4) // every 4th draw fails (25%)
+	p := mdcd.DefaultParams()
+	prop, err := Propagate(p, Gamma{Shape: 4, Rate: 4e4}, PropagateOptions{Samples: 24, Seed: 7, GridPoints: 6})
+	if err != nil {
+		t.Fatalf("propagation with 25%% failures aborted: %v", err)
+	}
+	if prop.Report.Failed() == 0 {
+		t.Fatal("report shows no skipped draws")
+	}
+	if prop.SamplesUsed+prop.Report.Failed() != prop.SamplesRequested {
+		t.Errorf("sample accounting: used %d + failed %d != requested %d",
+			prop.SamplesUsed, prop.Report.Failed(), prop.SamplesRequested)
+	}
+	if len(prop.MuSamples) != prop.SamplesUsed || len(prop.PhiStars) != prop.SamplesUsed {
+		t.Errorf("outputs sized %d/%d, want %d", len(prop.MuSamples), len(prop.PhiStars), prop.SamplesUsed)
+	}
+	for _, f := range prop.Report.Failures {
+		if !errors.Is(f.Err, robust.ErrIllConditioned) {
+			t.Errorf("skipped draw %d lost its typed cause: %v", f.Index, f.Err)
+		}
+	}
+	if prop.RobustPhi < 0 || prop.RobustPhi > p.Theta || prop.RobustEY <= 0 {
+		t.Errorf("robust decision degenerate: phi=%g EY=%g", prop.RobustPhi, prop.RobustEY)
+	}
+}
+
+func TestPropagateFailsWhenMajorityOfDrawsDie(t *testing.T) {
+	withFailingAnalyzer(t, 1) // every draw fails
+	_, err := Propagate(mdcd.DefaultParams(), Gamma{Shape: 4, Rate: 4e4},
+		PropagateOptions{Samples: 10, Seed: 7, GridPoints: 4})
+	if !errors.Is(err, robust.ErrTooManyFailures) {
+		t.Fatalf("err = %v, want ErrTooManyFailures", err)
+	}
+}
+
+func TestPropagateContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := PropagateContext(ctx, mdcd.DefaultParams(), Gamma{Shape: 4, Rate: 4e4},
+		PropagateOptions{Samples: 10, Seed: 7, GridPoints: 4})
+	if !errors.Is(err, robust.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestPropagateDeterministicAcrossFailures(t *testing.T) {
+	// The µ draw stream must not depend on which draws fail: a clean run
+	// and a run with failures share the surviving draws.
+	p := mdcd.DefaultParams()
+	opts := PropagateOptions{Samples: 12, Seed: 3, GridPoints: 4}
+	clean, err := Propagate(p, Gamma{Shape: 4, Rate: 4e4}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withFailingAnalyzer(t, 3)
+	partial, err := Propagate(p, Gamma{Shape: 4, Rate: 4e4}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanSet := make(map[float64]bool, len(clean.MuSamples))
+	for _, mu := range clean.MuSamples {
+		cleanSet[mu] = true
+	}
+	for _, mu := range partial.MuSamples {
+		if !cleanSet[mu] {
+			t.Errorf("surviving draw mu=%g not in the clean stream", mu)
+		}
+	}
+}

@@ -1,12 +1,14 @@
 package uncertainty
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 
 	"guardedop/internal/core"
 	"guardedop/internal/mdcd"
+	"guardedop/internal/robust"
 )
 
 // PropagateOptions tunes the Monte-Carlo propagation.
@@ -18,6 +20,12 @@ type PropagateOptions struct {
 	// GridPoints is the φ-grid resolution used both for the per-sample
 	// optimum and the robust choice (default 20 intervals over [0, θ]).
 	GridPoints int
+	// MinSurvivalFraction is the fraction of posterior draws that must
+	// evaluate successfully for the propagation to stand (default 0.5:
+	// fail only when fewer than half the samples survive). Draws that hit
+	// a degenerate parameter region are skipped and recorded in the
+	// report, not fatal.
+	MinSurvivalFraction float64
 }
 
 func (o PropagateOptions) withDefaults() PropagateOptions {
@@ -30,12 +38,16 @@ func (o PropagateOptions) withDefaults() PropagateOptions {
 	if o.GridPoints == 0 {
 		o.GridPoints = 20
 	}
+	if o.MinSurvivalFraction == 0 {
+		o.MinSurvivalFraction = 0.5
+	}
 	return o
 }
 
 // Propagation holds the posterior-propagated decision quantities.
 type Propagation struct {
-	// MuSamples are the posterior draws of µ_new (sorted).
+	// MuSamples are the posterior draws of µ_new that evaluated
+	// successfully (sorted).
 	MuSamples []float64
 	// PhiStars are the per-draw optimal durations, aligned with MuSamples'
 	// original draw order and then sorted.
@@ -49,12 +61,41 @@ type Propagation struct {
 	// PlugInPhi is the optimum computed at the posterior-mean rate — the
 	// non-Bayesian plug-in decision, for comparison.
 	PlugInPhi float64
+	// SamplesRequested and SamplesUsed count the posterior draws submitted
+	// and surviving; Report details the skipped draws (Failed() == 0 when
+	// every draw succeeded).
+	SamplesRequested int
+	SamplesUsed      int
+	Report           *robust.Report
 }
+
+// newAnalyzer builds the per-draw analyzer; a package variable so tests
+// can inject solver failures.
+var newAnalyzer = core.NewAnalyzer
 
 // Propagate draws µ_new from the posterior, evaluates the Y(φ) curve for
 // each draw, and aggregates the optimal-duration distribution together
 // with the robust (posterior-expected-Y) duration choice.
 func Propagate(p mdcd.Params, posterior Gamma, opts PropagateOptions) (*Propagation, error) {
+	return PropagateContext(context.Background(), p, posterior, opts)
+}
+
+// sampleEval is the per-draw outcome fed to the aggregation step.
+type sampleEval struct {
+	mu      float64
+	ys      []float64
+	bestPhi float64
+	bestY   float64
+}
+
+// PropagateContext is Propagate with cancellation support and
+// fault-tolerant sampling: a posterior draw whose model evaluation fails
+// (degenerate rate, invariant violation, non-finite solve) is skipped and
+// recorded in the result's Report instead of aborting the run. The call
+// errors only when the context is canceled or fewer than
+// opts.MinSurvivalFraction of the draws survive (wrapping
+// robust.ErrTooManyFailures).
+func PropagateContext(ctx context.Context, p mdcd.Params, posterior Gamma, opts PropagateOptions) (*Propagation, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -66,33 +107,57 @@ func Propagate(p mdcd.Params, posterior Gamma, opts PropagateOptions) (*Propagat
 		return nil, fmt.Errorf("uncertainty: need at least 2 samples, got %d", opts.Samples)
 	}
 
+	// Draw every µ up front so the stream stays deterministic regardless
+	// of which draws later fail.
 	rng := rand.New(rand.NewSource(opts.Seed))
+	mus := make([]float64, opts.Samples)
+	for s := range mus {
+		mus[s] = posterior.Sample(rng)
+	}
 	grid := core.SweepGrid(p.Theta, opts.GridPoints)
-	sumY := make([]float64, len(grid))
 
-	out := &Propagation{}
-	for s := 0; s < opts.Samples; s++ {
-		mu := posterior.Sample(rng)
+	pr, err := robust.RunBatch(ctx, mus, func(_ context.Context, mu float64) (sampleEval, error) {
 		params := p
 		params.MuNew = mu
-		a, err := core.NewAnalyzer(params)
+		a, err := newAnalyzer(params)
 		if err != nil {
-			return nil, fmt.Errorf("uncertainty: sample %d (mu=%g): %w", s, mu, err)
+			return sampleEval{}, fmt.Errorf("uncertainty: draw mu=%g: %w", mu, err)
 		}
 		results, err := a.Curve(grid)
 		if err != nil {
-			return nil, fmt.Errorf("uncertainty: sample %d (mu=%g): %w", s, mu, err)
+			return sampleEval{}, fmt.Errorf("uncertainty: draw mu=%g: %w", mu, err)
 		}
+		ev := sampleEval{mu: mu, ys: make([]float64, len(results))}
 		best := results[0]
 		for i, r := range results {
-			sumY[i] += r.Y
+			ev.ys[i] = r.Y
 			if r.Y > best.Y {
 				best = r
 			}
 		}
-		out.MuSamples = append(out.MuSamples, mu)
-		out.PhiStars = append(out.PhiStars, best.Phi)
-		out.MaxYs = append(out.MaxYs, best.Y)
+		ev.bestPhi, ev.bestY = best.Phi, best.Y
+		return ev, nil
+	}, robust.BatchOptions{MinSuccessFraction: opts.MinSurvivalFraction})
+	if err != nil {
+		if pr != nil && pr.Report.Failed() > 0 {
+			return nil, fmt.Errorf("uncertainty: %w\n%s", err, pr.Report.Summary())
+		}
+		return nil, fmt.Errorf("uncertainty: %w", err)
+	}
+
+	out := &Propagation{
+		SamplesRequested: opts.Samples,
+		SamplesUsed:      pr.Report.Succeeded(),
+		Report:           pr.Report,
+	}
+	sumY := make([]float64, len(grid))
+	for _, ev := range pr.Successes() {
+		for i, y := range ev.ys {
+			sumY[i] += y
+		}
+		out.MuSamples = append(out.MuSamples, ev.mu)
+		out.PhiStars = append(out.PhiStars, ev.bestPhi)
+		out.MaxYs = append(out.MaxYs, ev.bestY)
 	}
 
 	bestIdx := 0
@@ -102,11 +167,11 @@ func Propagate(p mdcd.Params, posterior Gamma, opts PropagateOptions) (*Propagat
 		}
 	}
 	out.RobustPhi = grid[bestIdx]
-	out.RobustEY = sumY[bestIdx] / float64(opts.Samples)
+	out.RobustEY = sumY[bestIdx] / float64(out.SamplesUsed)
 
 	plugIn := p
 	plugIn.MuNew = posterior.Mean()
-	a, err := core.NewAnalyzer(plugIn)
+	a, err := newAnalyzer(plugIn)
 	if err != nil {
 		return nil, err
 	}
