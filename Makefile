@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race selfcheck bench repro coverage clean
+.PHONY: all build vet test test-short race lint fmt-check selfcheck modelcheck bench repro coverage clean
 
-all: build vet test
+all: build lint test
 
 build:
 	$(GO) build ./...
@@ -23,10 +23,25 @@ test-short:
 race:
 	$(GO) test -race -short ./...
 
-# Health gate: analyzer invariant suite + short simulator cross-check
-# (exit code 2 on an invariant violation; see docs/ROBUSTNESS.md).
+# Static analysis gate: the domain linter (exit 1 on findings), go vet,
+# and a gofmt cleanliness check. See docs/STATIC_ANALYSIS.md.
+lint: vet fmt-check
+	$(GO) run ./cmd/gsulint ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt: the following files need formatting:"; echo "$$out"; exit 1; fi
+
+# Health gate: static model verification, analyzer invariant suite, and a
+# short simulator cross-check (exit code 2 on an invariant violation; see
+# docs/ROBUSTNESS.md and docs/STATIC_ANALYSIS.md).
 selfcheck:
 	$(GO) run ./cmd/gsueval -selfcheck
+
+# Static model verification only: check the translated RMGd/RMGp/RMNd
+# models (generator validity, reachability, reward bounds) without solving.
+modelcheck:
+	$(GO) run ./cmd/gsueval -modelcheck
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

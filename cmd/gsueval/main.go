@@ -9,18 +9,27 @@
 //	gsueval -all [-keep-going] [-timeout 2m]
 //	gsueval -sweep -theta 10000 -munew 1e-4 -coverage 0.95 -alpha 6000 -beta 6000
 //	gsueval -selfcheck
+//	gsueval -modelcheck
 //
 // The -sweep mode evaluates Y(φ) on a custom parameter set, printing the
 // curve, the optimal duration, and every constituent measure at the
 // optimum — the workflow a designer would use to pick φ for their own
 // system.
 //
-// The -selfcheck mode is a health gate: it runs the analyzer invariant
+// The -selfcheck mode is a health gate: it statically verifies the
+// translated models (see -modelcheck), then runs the analyzer invariant
 // suite on the given parameters (defaulting to the paper's Table 3
 // baseline) plus a short simulator cross-check of the model translation.
 //
-// Exit codes: 0 success; 1 usage or runtime error; 2 self-check failure;
-// 3 partial success (-all -keep-going with some experiments failed).
+// The -modelcheck mode runs only the static model verifier
+// (internal/modelcheck) over the constituent models RMGd, RMGp and both
+// RMNd instantiations built from the given parameters: generator
+// validity, reachability, absorbing/ergodic structure, and reward-bound
+// checks, all before any solve (docs/STATIC_ANALYSIS.md).
+//
+// Exit codes: 0 success; 1 usage or runtime error; 2 self-check or
+// modelcheck failure; 3 partial success (-all -keep-going with some
+// experiments failed).
 package main
 
 import (
@@ -83,6 +92,7 @@ func run(args []string) error {
 		outDir     = fs.String("out", "", "with -all: also write each report to <dir>/<id>.txt")
 		sweepMode  = fs.Bool("sweep", false, "sweep Y(phi) for a custom parameter set")
 		selfcheck  = fs.Bool("selfcheck", false, "run the invariant suite and simulator cross-check as a health gate")
+		modelcheck = fs.Bool("modelcheck", false, "statically verify the translated models and exit")
 		optimize   = fs.Bool("optimize", false, "with -sweep: also refine the optimal phi continuously (golden-section)")
 		csvOut     = fs.Bool("csv", false, "emit CSV data instead of a text report (figure experiments and -sweep)")
 		points     = fs.Int("points", 10, "number of sweep intervals covering [0, theta]")
@@ -122,6 +132,9 @@ func run(args []string) error {
 		}
 		fmt.Print(textplot.Table(rows))
 		return nil
+
+	case *modelcheck:
+		return modelCheck(params, os.Stdout)
 
 	case *selfcheck:
 		return selfCheck(ctx, params, os.Stdout)
@@ -163,7 +176,7 @@ func run(args []string) error {
 
 	default:
 		fs.Usage()
-		return fmt.Errorf("choose one of -list, -experiment, -all, -sweep, -selfcheck")
+		return fmt.Errorf("choose one of -list, -experiment, -all, -sweep, -selfcheck, -modelcheck")
 	}
 }
 

@@ -149,6 +149,41 @@ func TestExitCodeClassification(t *testing.T) {
 	}
 }
 
+func TestModelCheckBaselinePassesCLI(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-modelcheck"}) })
+	if err != nil {
+		t.Fatalf("modelcheck on defaults failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{"RMGd", "RMGp", "RMNd(mu_new)", "RMNd(mu_old)", "modelcheck: PASS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("modelcheck output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestModelCheckInvalidParamsFails(t *testing.T) {
+	if _, err := capture(t, func() error {
+		return run([]string{"-modelcheck", "-coverage", "2"})
+	}); err == nil {
+		t.Error("modelcheck accepted coverage > 1")
+	}
+}
+
+func TestSelfCheckRunsModelCheckFirst(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the simulator cross-check; skipped in -short mode")
+	}
+	out, err := capture(t, func() error { return run([]string{"-selfcheck"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := strings.Index(out, "modelcheck: static model verification")
+	inv := strings.Index(out, "invariant suite")
+	if mc < 0 || inv < 0 || mc > inv {
+		t.Errorf("modelcheck gate not run before the invariant suite (modelcheck at %d, suite at %d)", mc, inv)
+	}
+}
+
 func TestSelfCheckBaselinePassesCLI(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the simulator cross-check; skipped in -short mode")

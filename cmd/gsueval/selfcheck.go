@@ -24,12 +24,18 @@ func selfCheckSimConfig() experiments.ValsimConfig {
 	return cfg
 }
 
-// selfCheck runs the health gate behind the -selfcheck flag: the analyzer
-// invariant suite on the given parameters, then a short simulator
-// cross-check of the successive model translation. Failures come back
-// tagged with exit code 2; cancellation stays a plain runtime error.
+// selfCheck runs the health gate behind the -selfcheck flag: the static
+// model verifier (the -modelcheck gate, before any solve), then the
+// analyzer invariant suite on the given parameters, then a short
+// simulator cross-check of the successive model translation. Failures
+// come back tagged with exit code 2; cancellation stays a plain runtime
+// error.
 func selfCheck(ctx context.Context, p mdcd.Params, w io.Writer) error {
-	fmt.Fprintf(w, "self-check: invariant suite on %+v\n\n", p)
+	if err := modelCheck(p, w); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "\nself-check: invariant suite on %+v\n\n", p)
 	rep, err := core.SelfCheck(ctx, p, 10)
 	if rep != nil {
 		fmt.Fprint(w, rep)

@@ -1,0 +1,88 @@
+// Command gsulint runs the repository's domain-specific static analyzer
+// over Go packages. It is built on the standard library only; packages are
+// loaded the way `go vet` loads them (export data via the go tool).
+//
+// Usage:
+//
+//	gsulint [-rules errcheck,floateq,...] [-list] [packages]
+//
+// With no package arguments it lints ./.... Diagnostics are printed one
+// per line as file:line:col: rule: message.
+//
+// Exit codes: 0 no findings; 1 findings reported; 2 load or usage error.
+//
+// Suppress a finding with a comment on (or directly above) the line:
+//
+//	//lint:ignore <rule> <reason>
+//
+// See docs/STATIC_ANALYSIS.md for the rule catalog.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"guardedop/internal/lint"
+)
+
+// Exit codes, kept distinct so CI can tell findings from a broken run.
+const (
+	exitClean    = 0
+	exitFindings = 1
+	exitError    = 2
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gsulint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		rules = fs.String("rules", "all", "comma-separated rule selection")
+		list  = fs.Bool("list", false, "list the available rules and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return exitError
+	}
+
+	passes, err := lint.SelectPasses(*rules)
+	if err != nil {
+		fmt.Fprintln(stderr, "gsulint:", err)
+		return exitError
+	}
+	if *list {
+		for _, p := range passes {
+			fmt.Fprintf(stdout, "%-10s %s\n", p.Name(), p.Doc())
+		}
+		return exitClean
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "gsulint:", err)
+		return exitError
+	}
+	units, err := lint.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "gsulint:", err)
+		return exitError
+	}
+
+	diags := lint.Run(units, passes)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "gsulint: %d finding(s) in %d package(s)\n", len(diags), len(units))
+		return exitFindings
+	}
+	return exitClean
+}

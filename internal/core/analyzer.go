@@ -6,7 +6,9 @@ import (
 	"math"
 
 	"guardedop/internal/mdcd"
+	"guardedop/internal/modelcheck"
 	"guardedop/internal/robust"
+	"guardedop/internal/statespace"
 )
 
 // Analyzer evaluates the performability index Y(φ) for one parameter set.
@@ -48,9 +50,15 @@ func NewAnalyzerWithOptions(p mdcd.Params, o Options) (*Analyzer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: building RMGd: %w", err)
 	}
+	if err := verifySpace("RMGd", gd.Space); err != nil {
+		return nil, err
+	}
 	gp, err := mdcd.BuildRMGp(p)
 	if err != nil {
 		return nil, fmt.Errorf("core: building RMGp: %w", err)
+	}
+	if err := verifySpace("RMGp", gp.Space); err != nil {
+		return nil, err
 	}
 	gpm, err := gp.Measures()
 	if err != nil {
@@ -60,9 +68,15 @@ func NewAnalyzerWithOptions(p mdcd.Params, o Options) (*Analyzer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: building RMNd(mu_new): %w", err)
 	}
+	if err := verifySpace("RMNd(mu_new)", ndNew.Space); err != nil {
+		return nil, err
+	}
 	ndOld, err := mdcd.BuildRMNd(p, p.MuOld)
 	if err != nil {
 		return nil, fmt.Errorf("core: building RMNd(mu_old): %w", err)
+	}
+	if err := verifySpace("RMNd(mu_old)", ndOld.Space); err != nil {
+		return nil, err
 	}
 	pTheta, err := ndNew.NoFailureProbability(p.Theta)
 	if err != nil {
@@ -76,6 +90,20 @@ func NewAnalyzerWithOptions(p mdcd.Params, o Options) (*Analyzer, error) {
 		ndOld:           ndOld,
 		pNoFailNewTheta: pTheta,
 	}, nil
+}
+
+// verifySpace statically checks a freshly generated state space before any
+// solver touches it (docs/STATIC_ANALYSIS.md): generator validity,
+// reachability, and absorbing/ergodic structure. The check is linear in
+// the space and negligible next to a single transient solve; a violation
+// wraps robust.ErrInvariant so the robust batch layer classifies it as
+// non-transient.
+func verifySpace(name string, sp *statespace.Space) error {
+	rep := modelcheck.CheckSpace(name, sp, modelcheck.Options{})
+	if rep.OK() {
+		return nil
+	}
+	return fmt.Errorf("core: model verification: %w: %w", robust.ErrInvariant, rep.Err())
 }
 
 // Params returns the analyzer's parameter set.

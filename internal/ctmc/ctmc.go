@@ -71,6 +71,26 @@ func MustNew(gen *sparse.COO) *Chain {
 	return c
 }
 
+// NewUnchecked builds a chain without validating the generator. It exists
+// for callers that deliberately need a malformed chain — above all the
+// static-verifier tests in internal/modelcheck, which must exercise
+// rejection paths New makes unreachable — and for assembly pipelines whose
+// generators are validated elsewhere. Run internal/modelcheck on anything
+// built this way before solving; the solvers assume New's invariants.
+func NewUnchecked(gen *sparse.COO) *Chain {
+	csr := gen.ToCSR()
+	n := csr.Rows()
+	q := 0.0
+	for r := 0; r < n; r++ {
+		csr.Row(r, func(c int, v float64) {
+			if c == r && -v > q {
+				q = -v
+			}
+		})
+	}
+	return &Chain{n: n, gen: csr, q: q}
+}
+
 // NumStates returns the number of states.
 func (c *Chain) NumStates() int { return c.n }
 

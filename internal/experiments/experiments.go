@@ -30,6 +30,8 @@ type Experiment struct {
 // registry holds all experiments keyed by ID.
 var registry = map[string]Experiment{}
 
+// register adds an experiment to the registry at package init time; it
+// panics on a duplicate ID so a copy-paste error fails the first test run.
 func register(e Experiment) {
 	if _, dup := registry[e.ID]; dup {
 		panic(fmt.Sprintf("experiments: duplicate id %q", e.ID))

@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlowPass enforces context propagation: a function that accepts a
+// context.Context must actually thread it onward. Swallowing the context
+// breaks the cancellation chain that the robust batch layer relies on —
+// a -timeout flag that "works" except inside one subtree is worse than
+// none.
+//
+// Two defects are reported:
+//
+//   - a context.Context parameter that is never used in the body (the
+//     caller's deadline silently dies here); and
+//   - a call to context.Background() or context.TODO() inside a function
+//     that already has a context parameter (a fresh root context forks
+//     the cancellation chain).
+//
+// The nil-guard idiom `if ctx == nil { ctx = context.Background() }` is
+// recognised and allowed: it assigns the fresh context *to* the parameter,
+// keeping a single chain.
+type CtxFlowPass struct{}
+
+// Name implements Pass.
+func (CtxFlowPass) Name() string { return "ctxflow" }
+
+// Doc implements Pass.
+func (CtxFlowPass) Doc() string {
+	return "context.Context parameters must be propagated (no unused ctx, no fresh roots inside)"
+}
+
+// Run implements Pass.
+func (p CtxFlowPass) Run(u *Unit) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range u.Files {
+		if isTestFile(u, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			params := ctxParams(u, fd)
+			if len(params) == 0 {
+				continue
+			}
+			out = append(out, p.checkFunc(u, fd, params)...)
+		}
+	}
+	return out
+}
+
+// checkFunc reports ctxflow defects within one ctx-taking function.
+func (p CtxFlowPass) checkFunc(u *Unit, fd *ast.FuncDecl, params map[types.Object]*ast.Ident) []Diagnostic {
+	var out []Diagnostic
+	used := make(map[types.Object]bool)
+	allowedRoots := make(map[*ast.CallExpr]bool)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := u.Info.Uses[n]; obj != nil {
+				if _, isParam := params[obj]; isParam {
+					used[obj] = true
+				}
+			}
+		case *ast.AssignStmt:
+			// Nil-guard: ctx = context.Background() with ctx the parameter.
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if id, ok := n.Lhs[0].(*ast.Ident); ok {
+					if obj := u.Info.Uses[id]; obj != nil {
+						if _, isParam := params[obj]; isParam {
+							if call, ok := n.Rhs[0].(*ast.CallExpr); ok && isContextRoot(u, call) != "" {
+								allowedRoots[call] = true
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || allowedRoots[call] {
+			return true
+		}
+		if name := isContextRoot(u, call); name != "" {
+			out = append(out, diag(u, call.Pos(), p.Name(),
+				"context.%s() inside a function that already receives a context: propagate the parameter instead", name))
+		}
+		return true
+	})
+
+	for obj, id := range params {
+		if !used[obj] {
+			out = append(out, diag(u, id.Pos(), p.Name(),
+				"context parameter %s is never used: propagate it to callees or drop it", id.Name))
+		}
+	}
+	return out
+}
+
+// ctxParams returns the named, non-blank context.Context parameters of fd.
+func ctxParams(u *Unit, fd *ast.FuncDecl) map[types.Object]*ast.Ident {
+	out := make(map[types.Object]*ast.Ident)
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := u.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if named, ok := obj.Type().(*types.Named); ok {
+				tn := named.Obj()
+				if tn.Name() == "Context" && tn.Pkg() != nil && tn.Pkg().Path() == "context" {
+					out[obj] = name
+				}
+			}
+		}
+	}
+	return out
+}
+
+// isContextRoot returns "Background" or "TODO" when call creates a fresh
+// root context, and "" otherwise.
+func isContextRoot(u *Unit, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := u.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return fn.Name()
+	}
+	return ""
+}

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheckPass flags dropped errors: a call whose error result is neither
+// assigned nor checked, a blank assignment (`_ = ...`) of an error-typed
+// value, and `go`/`defer` statements discarding a callee's error.
+//
+// In a solver toolkit a dropped error is a silent wrong number: every
+// ctmc/sparse/reward entry point reports numeric breakdown through its
+// error result, and ignoring it turns ErrNotConverged into a plausible
+// -looking Y(φ).
+//
+// Built-in exclusions (documented in docs/STATIC_ANALYSIS.md): the fmt
+// print family and methods of strings.Builder / bytes.Buffer, whose error
+// results are either meaningless for this repo's in-memory report writers
+// or documented to be always nil.
+type ErrCheckPass struct{}
+
+// Name implements Pass.
+func (ErrCheckPass) Name() string { return "errcheck" }
+
+// Doc implements Pass.
+func (ErrCheckPass) Doc() string {
+	return "error results must be checked (no bare calls, no `_ =` discards)"
+}
+
+// Run implements Pass.
+func (p ErrCheckPass) Run(u *Unit) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range u.Files {
+		if isTestFile(u, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					out = append(out, p.checkCall(u, call, "result of %s ignored")...)
+				}
+			case *ast.GoStmt:
+				out = append(out, p.checkCall(u, n.Call, "error result of %s discarded by go statement")...)
+			case *ast.DeferStmt:
+				out = append(out, p.checkCall(u, n.Call, "error result of %s discarded by defer")...)
+			case *ast.AssignStmt:
+				out = append(out, p.checkAssign(u, n)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkCall flags call if it returns an error that the caller cannot see.
+func (p ErrCheckPass) checkCall(u *Unit, call *ast.CallExpr, format string) []Diagnostic {
+	if !returnsError(u, call) || p.excluded(u, call) {
+		return nil
+	}
+	return []Diagnostic{diag(u, call.Pos(), p.Name(), format, calleeName(u, call))}
+}
+
+// checkAssign flags assignments whose every error-typed value lands in the
+// blank identifier.
+func (p ErrCheckPass) checkAssign(u *Unit, n *ast.AssignStmt) []Diagnostic {
+	// Tuple form: v, _ := f()  /  _, _ = f()
+	if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+		call, ok := n.Rhs[0].(*ast.CallExpr)
+		if !ok || p.excluded(u, call) {
+			return nil
+		}
+		tuple, ok := u.Info.Types[call].Type.(*types.Tuple)
+		if !ok {
+			return nil
+		}
+		sawError, allBlank := false, true
+		for i := 0; i < tuple.Len() && i < len(n.Lhs); i++ {
+			if !isErrorType(tuple.At(i).Type()) {
+				continue
+			}
+			sawError = true
+			if !isBlank(n.Lhs[i]) {
+				allBlank = false
+			}
+		}
+		if sawError && allBlank {
+			return []Diagnostic{diag(u, n.Pos(), p.Name(), "error result of %s discarded with _", calleeName(u, call))}
+		}
+		return nil
+	}
+	// One-to-one form: _ = expr with expr of type error.
+	var out []Diagnostic
+	if len(n.Lhs) == len(n.Rhs) {
+		for i := range n.Lhs {
+			if !isBlank(n.Lhs[i]) {
+				continue
+			}
+			tv, ok := u.Info.Types[n.Rhs[i]]
+			if !ok || !isErrorType(tv.Type) {
+				continue
+			}
+			if call, ok := n.Rhs[i].(*ast.CallExpr); ok && p.excluded(u, call) {
+				continue
+			}
+			out = append(out, diag(u, n.Lhs[i].Pos(), p.Name(), "error value discarded with _"))
+		}
+	}
+	return out
+}
+
+// excluded reports whether the call is on the built-in exclusion list.
+func (p ErrCheckPass) excluded(u *Unit, call *ast.CallExpr) bool {
+	fn := calleeFunc(u, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+			return true
+		}
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch types.TypeString(sig.Recv().Type(), nil) {
+		case "*strings.Builder", "*bytes.Buffer", "strings.Builder", "bytes.Buffer":
+			return true
+		}
+	}
+	return false
+}
+
+// returnsError reports whether the call has at least one error result.
+// Conversions and error-free builtins are not calls in this sense.
+func returnsError(u *Unit, call *ast.CallExpr) bool {
+	tv, ok := u.Info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		if funTV, ok := u.Info.Types[call.Fun]; ok && funTV.IsType() {
+			return false // conversion, not a call
+		}
+		return isErrorType(tv.Type)
+	}
+}
+
+// calleeFunc resolves the called function object, if statically known.
+func calleeFunc(u *Unit, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := u.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// calleeName renders the callee for diagnostics.
+func calleeName(u *Unit, call *ast.CallExpr) string {
+	if fn := calleeFunc(u, call); fn != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return types.TypeString(sig.Recv().Type(), types.RelativeTo(u.Pkg)) + "." + fn.Name()
+		}
+		if fn.Pkg() != nil && fn.Pkg() != u.Pkg {
+			return fn.Pkg().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	return "call"
+}
+
+// isErrorType reports whether t is the predeclared error interface.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// isBlank reports whether e is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEqPass flags == and != between floating-point operands. Solver
+// results carry rounding error by construction, so exact comparison is
+// almost always a latent bug — the repo's numeric guards compare against
+// tolerances instead.
+//
+// One comparison survives: testing against an exact constant zero. Zero is
+// the sentinel this codebase uses for "feature disabled" / "no mass on
+// this case" (rates and probabilities are set to literal 0, never computed
+// to it), and 0 is exactly representable, so `x == 0` is well defined.
+// Every other constant (including 1, which solvers only approach) must use
+// a tolerance or carry a //lint:ignore with justification.
+type FloatEqPass struct{}
+
+// Name implements Pass.
+func (FloatEqPass) Name() string { return "floateq" }
+
+// Doc implements Pass.
+func (FloatEqPass) Doc() string {
+	return "no == / != on floating-point operands (exact-zero sentinel checks excepted)"
+}
+
+// Run implements Pass.
+func (p FloatEqPass) Run(u *Unit) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range u.Files {
+		if isTestFile(u, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(u, be.X) && !isFloat(u, be.Y) {
+				return true
+			}
+			if isExactZero(u, be.X) || isExactZero(u, be.Y) {
+				return true
+			}
+			out = append(out, diag(u, be.OpPos, p.Name(),
+				"floating-point %s comparison: use a tolerance (or compare to an exact 0 sentinel)", be.Op))
+			return true
+		})
+	}
+	return out
+}
+
+// isFloat reports whether e has floating-point type.
+func isFloat(u *Unit, e ast.Expr) bool {
+	tv, ok := u.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isExactZero reports whether e is a compile-time constant equal to zero.
+func isExactZero(u *Unit, e ast.Expr) bool {
+	tv, ok := u.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return constant.Compare(tv.Value, token.EQL, constant.MakeInt64(0))
+}

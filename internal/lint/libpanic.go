@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LibPanicPass flags panic calls in library packages that are not part of
+// the package's documented contract. A panic that escapes a solver tears
+// down a whole batch run; the robust layer recovers them, but only
+// *documented* programmer-error panics are acceptable in libraries.
+//
+// A panic is allowed when any of these hold:
+//
+//   - the package is a command (package main) — CLIs may crash;
+//   - the enclosing function's name starts with Must (the MustNew idiom:
+//     the name itself is the documentation);
+//   - the enclosing function's doc comment mentions "panic", making the
+//     contract explicit to callers;
+//   - the enclosing function also calls recover(), i.e. the panic is part
+//     of a local recovery path (re-panic of a foreign value).
+//
+// Everything else either returns an error or carries a //lint:ignore with
+// a reason.
+type LibPanicPass struct{}
+
+// Name implements Pass.
+func (LibPanicPass) Name() string { return "libpanic" }
+
+// Doc implements Pass.
+func (LibPanicPass) Doc() string {
+	return "library panics must be documented (doc comment or Must* name) or be recovery-path re-panics"
+}
+
+// Run implements Pass.
+func (p LibPanicPass) Run(u *Unit) []Diagnostic {
+	if u.IsCommand {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range u.Files {
+		if isTestFile(u, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isBuiltinCall(u, call, "panic") {
+				return true
+			}
+			fd := enclosingFuncDecl(u, call.Pos())
+			if fd != nil && panicAllowed(u, fd) {
+				return true
+			}
+			where := "package-level initializer"
+			if fd != nil {
+				where = "function " + fd.Name.Name
+			}
+			out = append(out, diag(u, call.Pos(), p.Name(),
+				"undocumented panic in %s: document it in the doc comment, rename to Must*, or return an error", where))
+			return true
+		})
+	}
+	return out
+}
+
+// panicAllowed reports whether fd's contract covers panics.
+func panicAllowed(u *Unit, fd *ast.FuncDecl) bool {
+	if strings.HasPrefix(fd.Name.Name, "Must") {
+		return true
+	}
+	if fd.Doc != nil && strings.Contains(strings.ToLower(fd.Doc.Text()), "panic") {
+		return true
+	}
+	recovered := false
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isBuiltinCall(u, call, "recover") {
+			recovered = true
+		}
+		return !recovered
+	})
+	return recovered
+}
+
+// isBuiltinCall reports whether call invokes the named predeclared builtin.
+func isBuiltinCall(u *Unit, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := u.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"strconv"
+)
+
+// ProbRangePass sanity-checks constant arguments flowing into the SAN
+// model-construction API: a case probability handed to san.ConstProb must
+// lie in [0, 1], and an activity rate handed to san.ConstRate must be
+// non-negative. Both mistakes produce generators that fail (at best) at
+// state-space generation time, far from the line that introduced them;
+// this rule moves the failure to the editor.
+//
+// Only compile-time constant arguments are checked — expressions like
+// ConstProb(1 - p.PExt) are the runtime validator's job (and
+// internal/modelcheck re-verifies the generated chain).
+type ProbRangePass struct{}
+
+// sanPath is the import path of the model-construction package whose
+// constructors this pass watches.
+const sanPath = "guardedop/internal/san"
+
+// Name implements Pass.
+func (ProbRangePass) Name() string { return "probrange" }
+
+// Doc implements Pass.
+func (ProbRangePass) Doc() string {
+	return "constant san.ConstProb args must be in [0,1]; constant san.ConstRate args must be >= 0"
+}
+
+// Run implements Pass.
+func (p ProbRangePass) Run(u *Unit) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			fn := calleeFunc(u, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != sanPath {
+				return true
+			}
+			tv, ok := u.Info.Types[call.Args[0]]
+			if !ok || tv.Value == nil {
+				return true
+			}
+			v := tv.Value
+			switch fn.Name() {
+			case "ConstProb":
+				if constant.Compare(v, token.LSS, constant.MakeInt64(0)) ||
+					constant.Compare(v, token.GTR, constant.MakeInt64(1)) {
+					out = append(out, diag(u, call.Args[0].Pos(), p.Name(),
+						"probability %s passed to san.ConstProb is outside [0, 1]", constStr(v)))
+				}
+			case "ConstRate":
+				if constant.Compare(v, token.LSS, constant.MakeInt64(0)) {
+					out = append(out, diag(u, call.Args[0].Pos(), p.Name(),
+						"negative rate %s passed to san.ConstRate", constStr(v)))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// constStr renders a constant for diagnostics in plain decimal form.
+func constStr(v constant.Value) string {
+	f, _ := constant.Float64Val(v)
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

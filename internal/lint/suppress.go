@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"strings"
+)
+
+// ignoreDirective is the suppression comment prefix.
+const ignoreDirective = "//lint:ignore"
+
+// suppressions indexes the //lint:ignore directives of one unit.
+type suppressions struct {
+	// byLine maps file -> line -> set of suppressed rules ("*" suppresses
+	// every rule). A directive covers its own line (trailing-comment
+	// placement) and the immediately following line (comment-above
+	// placement).
+	byLine map[string]map[int]map[string]bool
+	// malformed collects directives missing a rule or a reason; they are
+	// reported as diagnostics of the pseudo-rule "lint-directive".
+	malformed []Diagnostic
+}
+
+// collectSuppressions scans every comment of the unit for directives.
+func collectSuppressions(u *Unit) *suppressions {
+	s := &suppressions{byLine: make(map[string]map[int]map[string]bool)}
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignoreDirective) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(c.Text, ignoreDirective))
+				pos := u.Fset.Position(c.Pos())
+				if len(fields) < 2 {
+					s.malformed = append(s.malformed, Diagnostic{
+						Pos:     pos,
+						Rule:    "lint-directive",
+						Message: "malformed //lint:ignore: want \"//lint:ignore <rule> <reason>\"",
+					})
+					continue
+				}
+				rule := fields[0]
+				s.add(pos.Filename, pos.Line, rule)
+				s.add(pos.Filename, pos.Line+1, rule)
+			}
+		}
+	}
+	return s
+}
+
+func (s *suppressions) add(file string, line int, rule string) {
+	m, ok := s.byLine[file]
+	if !ok {
+		m = make(map[int]map[string]bool)
+		s.byLine[file] = m
+	}
+	set, ok := m[line]
+	if !ok {
+		set = make(map[string]bool)
+		m[line] = set
+	}
+	set[rule] = true
+}
+
+// covers reports whether d is suppressed by a directive.
+func (s *suppressions) covers(d Diagnostic) bool {
+	m, ok := s.byLine[d.Pos.Filename]
+	if !ok {
+		return false
+	}
+	set, ok := m[d.Pos.Line]
+	if !ok {
+		return false
+	}
+	return set[d.Rule] || set["*"]
+}

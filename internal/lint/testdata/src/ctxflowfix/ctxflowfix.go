@@ -1,0 +1,29 @@
+// Package ctxflowfix seeds ctxflow violations for the golden lint test.
+package ctxflowfix
+
+import "context"
+
+// Dropped accepts a context and silently ignores it.
+func Dropped(ctx context.Context, n int) int { // want ctxflow
+	return n + 1
+}
+
+// FreshRoot forks the cancellation chain with a new root context.
+func FreshRoot(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return work(context.Background()) // want ctxflow
+}
+
+// NilGuard shows the allowed idiom: the fresh root is assigned to the
+// parameter itself, keeping a single chain.
+func NilGuard(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return work(ctx)
+}
+
+// work consumes the context properly.
+func work(ctx context.Context) error { return ctx.Err() }

@@ -1,0 +1,7 @@
+// Package directivefix seeds a malformed suppression directive for the
+// golden lint test: the rule name is present but the mandatory reason is
+// missing, so the directive itself is reported.
+package directivefix
+
+//lint:ignore floateq
+func placeholder() {}

@@ -1,0 +1,47 @@
+// Package errcheckfix seeds errcheck violations for the golden lint test.
+package errcheckfix
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Solve stands in for a solver entry point whose error must be checked.
+func Solve() (float64, error) { return 0, errors.New("did not converge") }
+
+// Run exercises every shape of dropped error.
+func Run() float64 {
+	Solve()            // want errcheck
+	_, _ = Solve()     // want errcheck
+	v, _ := Solve()    // want errcheck
+	_ = errors.New("") // want errcheck
+	defer Solve()      // want errcheck
+	go Solve()         // want errcheck
+
+	//lint:ignore errcheck suppression fixture: this drop is deliberate
+	Solve()
+
+	// Checked forms: not flagged.
+	if _, err := Solve(); err != nil {
+		return 0
+	}
+	w, err := Solve()
+	if err != nil {
+		return w
+	}
+
+	// Built-in exclusions: the fmt print family and in-memory builders.
+	fmt.Println("report")
+	var b strings.Builder
+	b.WriteString("report")
+	fmt.Fprintf(&b, "%g", v)
+
+	return v
+}
+
+// Remove drops an error through a named stdlib call.
+func Remove(path string) {
+	os.Remove(path) // want errcheck
+}

@@ -1,0 +1,17 @@
+// Package floateqfix seeds floateq violations for the golden lint test.
+package floateqfix
+
+// Close reports whether two solver outputs coincide (badly).
+func Close(a, b float64) bool {
+	if a == b { // want floateq
+		return true
+	}
+	if a != 0.5 { // want floateq
+		return false
+	}
+	var f32 float32
+	if f32 == 1 { // want floateq
+		return false
+	}
+	return a == 0 // exact-zero sentinel: allowed
+}

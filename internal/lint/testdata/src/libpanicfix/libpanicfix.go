@@ -1,0 +1,38 @@
+// Package libpanicfix seeds libpanic violations for the golden lint test.
+package libpanicfix
+
+// Index returns v[i] with a home-grown bounds check.
+func Index(v []float64, i int) float64 {
+	if i < 0 || i >= len(v) {
+		panic("index out of range") // want libpanic
+	}
+	return v[i]
+}
+
+// MustIndex is Index for correct-by-construction callers; the Must prefix
+// is the documented panic idiom, so it is allowed.
+func MustIndex(v []float64, i int) float64 {
+	if i < 0 || i >= len(v) {
+		panic("index out of range")
+	}
+	return v[i]
+}
+
+// Checked panics if i is negative (a caller bug) — documented, allowed.
+func Checked(i int) int {
+	if i < 0 {
+		panic("negative")
+	}
+	return i
+}
+
+// Guarded re-panics foreign values inside its own recovery path — allowed.
+func Guarded(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			panic(r)
+		}
+	}()
+	fn()
+	return nil
+}

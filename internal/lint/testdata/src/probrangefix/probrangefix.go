@@ -1,0 +1,19 @@
+// Package probrangefix seeds probrange violations for the golden lint test.
+package probrangefix
+
+import "guardedop/internal/san"
+
+// halfExt mimics a model parameter known at compile time.
+const halfExt = 0.5
+
+var (
+	badHigh = san.ConstProb(1.5)      // want probrange
+	badLow  = san.ConstProb(-0.1)     // want probrange
+	badSum  = san.ConstProb(1 + 0.25) // want probrange
+	badRate = san.ConstRate(-2)       // want probrange
+
+	okEdge = san.ConstProb(1)
+	okZero = san.ConstProb(0)
+	okMid  = san.ConstProb(1 - halfExt)
+	okRate = san.ConstRate(0)
+)

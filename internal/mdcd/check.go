@@ -1,0 +1,72 @@
+package mdcd
+
+import (
+	"fmt"
+
+	"guardedop/internal/modelcheck"
+	"guardedop/internal/robust"
+)
+
+// CheckModels builds the paper's constituent reward models for p and
+// statically verifies each one with internal/modelcheck before anything is
+// solved: the RMGd/RMNd first-passage models must have valid generators
+// whose every state reaches the absorbing set, the RMGp steady-state model
+// must be irreducible, and every Table 1/2 reward structure must stay
+// within the [0, 1] bounds that keep Y(φ) an expectation ratio (Eq. 1).
+//
+// It returns the per-model reports (always, so callers can render them)
+// and a non-nil error wrapping robust.ErrInvariant if any model fails.
+func CheckModels(p Params) ([]*modelcheck.Report, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	var reports []*modelcheck.Report
+
+	gd, err := BuildRMGd(p)
+	if err != nil {
+		return nil, fmt.Errorf("mdcd: building RMGd: %w", err)
+	}
+	rep := modelcheck.CheckSpace("RMGd", gd.Space, modelcheck.Options{})
+	for name, s := range gd.Table1Structures() {
+		rep.CheckRewardRates(name, s.RateVector(gd.Space), 0, 1)
+	}
+	reports = append(reports, rep)
+
+	gp, err := BuildRMGp(p)
+	if err != nil {
+		return nil, fmt.Errorf("mdcd: building RMGp: %w", err)
+	}
+	rep = modelcheck.CheckSpace("RMGp", gp.Space, modelcheck.Options{})
+	rep.CheckRewardRates("1-rho1", gp.Overhead1Structure().RateVector(gp.Space), 0, 1)
+	rep.CheckRewardRates("1-rho2", gp.Overhead2Structure().RateVector(gp.Space), 0, 1)
+	reports = append(reports, rep)
+
+	for _, nd := range []struct {
+		label string
+		mu    float64
+	}{
+		{"RMNd(mu_new)", p.MuNew},
+		{"RMNd(mu_old)", p.MuOld},
+	} {
+		m, err := BuildRMNd(p, nd.mu)
+		if err != nil {
+			return nil, fmt.Errorf("mdcd: building %s: %w", nd.label, err)
+		}
+		rep = modelcheck.CheckSpace(nd.label, m.Space, modelcheck.Options{})
+		rates := make([]float64, m.Space.NumStates())
+		for i, mk := range m.Space.States {
+			if mk.Get(m.Failure) == 0 {
+				rates[i] = 1
+			}
+		}
+		rep.CheckRewardRates("P(no failure)", rates, 0, 1)
+		reports = append(reports, rep)
+	}
+
+	for _, r := range reports {
+		if err := r.Err(); err != nil {
+			return reports, fmt.Errorf("%w: %w", robust.ErrInvariant, err)
+		}
+	}
+	return reports, nil
+}

@@ -1,0 +1,71 @@
+package mdcd
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCheckModelsPaperBaseline verifies the acceptance gate of the static
+// verifier: all constituent models of the paper's Table 3 baseline —
+// RMGd, RMGp, and both RMNd instantiations — pass every modelcheck
+// property.
+func TestCheckModelsPaperBaseline(t *testing.T) {
+	reports, err := CheckModels(DefaultParams())
+	if err != nil {
+		t.Fatalf("paper models fail modelcheck: %v", err)
+	}
+	if len(reports) != 4 {
+		t.Fatalf("got %d reports, want 4", len(reports))
+	}
+	want := map[string]bool{
+		"RMGd": false, "RMGp": false, "RMNd(mu_new)": false, "RMNd(mu_old)": false,
+	}
+	for _, rep := range reports {
+		if !rep.OK() {
+			t.Errorf("%s: %v", rep.Model, rep.Issues)
+		}
+		if rep.States == 0 {
+			t.Errorf("%s: empty state space", rep.Model)
+		}
+		if _, known := want[rep.Model]; !known {
+			t.Errorf("unexpected report %q", rep.Model)
+		}
+		want[rep.Model] = true
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("missing report for %s", name)
+		}
+	}
+}
+
+// TestCheckModelsStructure pins the structural facts the verifier relies
+// on: the dependability models are absorbing, the performance model is
+// irreducible.
+func TestCheckModelsStructure(t *testing.T) {
+	reports, err := CheckModels(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range reports {
+		switch {
+		case rep.Model == "RMGp":
+			if rep.Absorbing != 0 {
+				t.Errorf("RMGp: %d absorbing states, want 0 (steady-state model)", rep.Absorbing)
+			}
+		case strings.HasPrefix(rep.Model, "RM"):
+			if rep.Absorbing == 0 {
+				t.Errorf("%s: no absorbing states, want at least the failure state", rep.Model)
+			}
+		}
+	}
+}
+
+// TestCheckModelsRejectsBadParams covers the parameter-validation path.
+func TestCheckModelsRejectsBadParams(t *testing.T) {
+	p := DefaultParams()
+	p.Coverage = 2
+	if _, err := CheckModels(p); err == nil {
+		t.Fatal("invalid parameters accepted")
+	}
+}

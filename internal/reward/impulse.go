@@ -33,7 +33,8 @@ func (s *ImpulseStructure) Add(activity string, impulse float64) *ImpulseStructu
 }
 
 // AddWhen awards impulse on completions of the named activity that fire
-// from a state whose marking satisfies pred.
+// from a state whose marking satisfies pred. It panics if pred is nil (a
+// reward-structure construction bug).
 func (s *ImpulseStructure) AddWhen(activity string, impulse float64, pred func(stateIdx int, sp *statespace.Space) bool) *ImpulseStructure {
 	if pred == nil {
 		panic(fmt.Sprintf("reward: nil impulse predicate for activity %q", activity))
@@ -44,6 +45,22 @@ func (s *ImpulseStructure) AddWhen(activity string, impulse float64, pred func(s
 
 // Len returns the number of impulse items.
 func (s *ImpulseStructure) Len() int { return len(s.items) }
+
+// ImpulseItem is the public view of one impulse assignment, exposed for
+// static verification (internal/modelcheck) and diagnostics.
+type ImpulseItem struct {
+	Activity string
+	Impulse  float64
+}
+
+// Items returns the structure's impulse assignments in insertion order.
+func (s *ImpulseStructure) Items() []ImpulseItem {
+	out := make([]ImpulseItem, len(s.items))
+	for i, it := range s.items {
+		out[i] = ImpulseItem{Activity: it.activity, Impulse: it.impulse}
+	}
+	return out
+}
 
 // rateVector folds the impulse structure into an equivalent rate-reward
 // vector: state i earns Σ over transitions leaving i of impulse × rate.

@@ -36,7 +36,8 @@ type pair struct {
 func NewStructure() *Structure { return &Structure{} }
 
 // Add appends a predicate-rate pair. The name is used in diagnostics only.
-// It returns the structure for chaining.
+// It returns the structure for chaining, and panics if pred is nil (a
+// reward-structure construction bug).
 func (s *Structure) Add(name string, pred san.Predicate, rate float64) *Structure {
 	if pred == nil {
 		panic(fmt.Sprintf("reward: nil predicate for pair %q", name))

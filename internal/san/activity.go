@@ -48,6 +48,7 @@ type Case struct {
 }
 
 // AddOutputArc adds count tokens to place p when this case is selected.
+// It panics if count is not positive (a model-construction bug).
 func (c *Case) AddOutputArc(p *Place, count int) *Case {
 	if count <= 0 {
 		panic(fmt.Sprintf("san: output arc to %q must carry positive tokens", p.name))
@@ -112,6 +113,7 @@ func (a *Activity) SetWeight(w WeightFunc) *Activity {
 }
 
 // AddInputArc requires (and consumes) count tokens from place p.
+// It panics if count is not positive (a model-construction bug).
 func (a *Activity) AddInputArc(p *Place, count int) *Activity {
 	if count <= 0 {
 		panic(fmt.Sprintf("san: input arc from %q must carry positive tokens", p.name))
@@ -123,7 +125,8 @@ func (a *Activity) AddInputArc(p *Place, count int) *Activity {
 // AddInhibitorArc disables the activity while place p holds at least
 // threshold tokens (the classic Petri-net inhibitor arc; threshold 1 means
 // "p must be empty"). Inhibitor arcs affect enabling only; they move no
-// tokens.
+// tokens. It panics if threshold is not positive (a model-construction
+// bug).
 func (a *Activity) AddInhibitorArc(p *Place, threshold int) *Activity {
 	if threshold <= 0 {
 		panic(fmt.Sprintf("san: inhibitor arc on %q needs positive threshold", p.name))
@@ -137,6 +140,7 @@ func (a *Activity) AddInhibitorArc(p *Place, threshold int) *Activity {
 
 // AddInputGate attaches an input gate: pred contributes to enabling, fn (may
 // be nil) mutates the marking at firing time before case selection.
+// It panics if pred is nil (a model-construction bug).
 func (a *Activity) AddInputGate(name string, pred Predicate, fn MutateFunc) *Activity {
 	if pred == nil {
 		panic(fmt.Sprintf("san: input gate %q on %q has nil predicate", name, a.name))
@@ -189,7 +193,10 @@ func (a *Activity) Rate(mk Marking) float64 {
 	return r
 }
 
-// Weight returns the instantaneous race weight in mk.
+// Weight returns the instantaneous race weight in mk. It panics if the
+// weight function produces a negative or non-finite value: a corrupt
+// weight would silently skew the vanishing-marking race, so it must not
+// survive into state-space generation.
 func (a *Activity) Weight(mk Marking) float64 {
 	w := a.weight(mk)
 	if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {

@@ -38,7 +38,8 @@ func (m *COO) Cols() int { return m.cols }
 func (m *COO) NNZ() int { return len(m.entries) }
 
 // Add accumulates v at position (r, c). Adding an exact zero is a no-op so
-// that generator assembly loops need not special-case zero rates.
+// that generator assembly loops need not special-case zero rates. It panics
+// if (r, c) is out of range.
 func (m *COO) Add(r, c int, v float64) {
 	if r < 0 || r >= m.rows || c < 0 || c >= m.cols {
 		panic(fmt.Sprintf("sparse: COO index (%d,%d) out of range %dx%d", r, c, m.rows, m.cols))

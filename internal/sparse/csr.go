@@ -25,6 +25,7 @@ func (m *CSR) Cols() int { return m.cols }
 func (m *CSR) NNZ() int { return len(m.values) }
 
 // At returns the value at (r, c) using a binary search within row r.
+// It panics if (r, c) is out of range.
 func (m *CSR) At(r, c int) float64 {
 	if r < 0 || r >= m.rows || c < 0 || c >= m.cols {
 		panic(fmt.Sprintf("sparse: CSR index (%d,%d) out of range %dx%d", r, c, m.rows, m.cols))
@@ -53,6 +54,7 @@ func (m *CSR) Row(r int, fn func(c int, v float64)) {
 
 // MulVec computes dst = m * x (matrix times column vector).
 // dst must have length Rows and x length Cols; dst and x must not alias.
+// It panics on a dimension mismatch.
 func (m *CSR) MulVec(dst, x []float64) {
 	if len(x) != m.cols || len(dst) != m.rows {
 		panic(fmt.Sprintf("sparse: MulVec dimension mismatch: m is %dx%d, len(x)=%d, len(dst)=%d",
@@ -71,6 +73,7 @@ func (m *CSR) MulVec(dst, x []float64) {
 // used for probability-vector propagation, where x is a distribution over
 // states and m is a transition matrix.
 // dst must have length Cols and x length Rows; dst and x must not alias.
+// It panics on a dimension mismatch.
 func (m *CSR) VecMul(dst, x []float64) {
 	if len(x) != m.rows || len(dst) != m.cols {
 		panic(fmt.Sprintf("sparse: VecMul dimension mismatch: m is %dx%d, len(x)=%d, len(dst)=%d",

@@ -11,7 +11,8 @@ type Dense struct {
 	data       []float64
 }
 
-// NewDense returns a zeroed rows x cols dense matrix.
+// NewDense returns a zeroed rows x cols dense matrix. It panics if either
+// dimension is negative.
 func NewDense(rows, cols int) *Dense {
 	if rows < 0 || cols < 0 {
 		panic(fmt.Sprintf("sparse: invalid Dense dimensions %dx%d", rows, cols))
@@ -50,7 +51,8 @@ func (m *Dense) Clone() *Dense {
 	return out
 }
 
-// Mul returns the matrix product m * other.
+// Mul returns the matrix product m * other. It panics on a dimension
+// mismatch.
 func (m *Dense) Mul(other *Dense) *Dense {
 	if m.cols != other.rows {
 		panic(fmt.Sprintf("sparse: Mul dimension mismatch %dx%d * %dx%d", m.rows, m.cols, other.rows, other.cols))
@@ -72,7 +74,8 @@ func (m *Dense) Mul(other *Dense) *Dense {
 	return out
 }
 
-// MulVec computes dst = m * x. dst and x must not alias.
+// MulVec computes dst = m * x. dst and x must not alias. It panics on a
+// dimension mismatch.
 func (m *Dense) MulVec(dst, x []float64) {
 	if len(x) != m.cols || len(dst) != m.rows {
 		panic(fmt.Sprintf("sparse: Dense.MulVec dimension mismatch: m is %dx%d, len(x)=%d, len(dst)=%d",
@@ -89,6 +92,7 @@ func (m *Dense) MulVec(dst, x []float64) {
 }
 
 // VecMul computes dst = x * m (row vector times matrix). No aliasing.
+// It panics on a dimension mismatch.
 func (m *Dense) VecMul(dst, x []float64) {
 	if len(x) != m.rows || len(dst) != m.cols {
 		panic(fmt.Sprintf("sparse: Dense.VecMul dimension mismatch: m is %dx%d, len(x)=%d, len(dst)=%d",
@@ -109,7 +113,7 @@ func (m *Dense) VecMul(dst, x []float64) {
 	}
 }
 
-// Add returns m + other.
+// Add returns m + other. It panics on a dimension mismatch.
 func (m *Dense) Add(other *Dense) *Dense {
 	if m.rows != other.rows || m.cols != other.cols {
 		panic("sparse: Add dimension mismatch")

@@ -2,7 +2,8 @@ package sparse
 
 import "math"
 
-// Dot returns the inner product of a and b. The slices must have equal length.
+// Dot returns the inner product of a and b. The slices must have equal
+// length; it panics otherwise.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic("sparse: Dot length mismatch")
@@ -23,7 +24,8 @@ func Sum(v []float64) float64 {
 	return sum
 }
 
-// Axpy computes dst[i] += alpha * x[i] for all i.
+// Axpy computes dst[i] += alpha * x[i] for all i. It panics on a length
+// mismatch.
 func Axpy(dst []float64, alpha float64, x []float64) {
 	if len(dst) != len(x) {
 		panic("sparse: Axpy length mismatch")
@@ -51,7 +53,8 @@ func InfNormVec(v []float64) float64 {
 	return maxAbs
 }
 
-// L1Dist returns the L1 distance between a and b.
+// L1Dist returns the L1 distance between a and b. It panics on a length
+// mismatch.
 func L1Dist(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic("sparse: L1Dist length mismatch")

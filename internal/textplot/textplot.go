@@ -46,6 +46,7 @@ func Chart(title string, xs []float64, series []Series, width, height int) strin
 			yMax = math.Max(yMax, y)
 		}
 	}
+	//lint:ignore floateq exact equality is the degenerate flat-series case that would divide by zero below
 	if yMin == yMax {
 		yMin -= 0.5
 		yMax += 0.5
@@ -54,6 +55,7 @@ func Chart(title string, xs []float64, series []Series, width, height int) strin
 	yMin -= pad
 	yMax += pad
 	xMin, xMax := xs[0], xs[len(xs)-1]
+	//lint:ignore floateq exact equality is the degenerate single-x case that would divide by zero below
 	if xMin == xMax {
 		xMax = xMin + 1
 	}
@@ -165,6 +167,7 @@ func Histogram(title string, values []float64, bins, width int) string {
 		lo = math.Min(lo, v)
 		hi = math.Max(hi, v)
 	}
+	//lint:ignore floateq exact equality is the degenerate constant-sample case that would divide by zero below
 	if lo == hi {
 		hi = lo + 1
 	}
