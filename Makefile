@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race lint fmt-check selfcheck modelcheck bench repro coverage clean
+.PHONY: all build vet test test-short race race-parallel lint fmt-check selfcheck modelcheck bench repro coverage clean
 
 all: build lint test
 
@@ -22,6 +22,14 @@ test-short:
 # Race-enabled short suite — the CI gate.
 race:
 	$(GO) test -race -short ./...
+
+# Race-enabled full suite for the packages that run on the worker pool
+# (batch runner, posterior propagation, experiment suite) — exercises the
+# parallel paths the short suite skips.
+# (-timeout raised: the Monte-Carlo suites exceed go test's default 10m
+# under the race detector on small machines.)
+race-parallel:
+	$(GO) test -race -timeout 45m ./internal/robust ./internal/uncertainty ./internal/experiments
 
 # Static analysis gate: the domain linter (exit 1 on findings), go vet,
 # and a gofmt cleanliness check. See docs/STATIC_ANALYSIS.md.

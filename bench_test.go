@@ -279,6 +279,34 @@ func BenchmarkExtensionUncertainty(b *testing.B) {
 	}
 }
 
+// benchmarkPropagate200 runs the paper-scale 200-draw posterior
+// propagation at a fixed worker count; the Sequential/Parallel pair below
+// measures the worker-pool speedup on the same workload (identical
+// numbers by construction — see TestPropagateParallelMatchesSequential).
+func benchmarkPropagate200(b *testing.B, workers int) {
+	b.Helper()
+	p := mdcd.DefaultParams()
+	posterior := uncertainty.Gamma{Shape: 4, Rate: 4e4}
+	for i := 0; i < b.N; i++ {
+		prop, err := uncertainty.Propagate(p, posterior, uncertainty.PropagateOptions{
+			Samples: 200, Seed: 3, GridPoints: 20, Workers: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if prop.RobustPhi <= 0 || prop.SamplesUsed != 200 {
+			b.Fatalf("degenerate propagation: phi=%g used=%d", prop.RobustPhi, prop.SamplesUsed)
+		}
+	}
+}
+
+// BenchmarkPropagate200Sequential is the single-worker baseline.
+func BenchmarkPropagate200Sequential(b *testing.B) { benchmarkPropagate200(b, 1) }
+
+// BenchmarkPropagate200Parallel uses the default worker count (every
+// core); compare against the Sequential baseline for the pool speedup.
+func BenchmarkPropagate200Parallel(b *testing.B) { benchmarkPropagate200(b, 0) }
+
 // BenchmarkExtensionValidation regenerates the validation-value study
 // (reduced sample count).
 func BenchmarkExtensionValidation(b *testing.B) {

@@ -98,6 +98,8 @@ func run(args []string) error {
 		points     = fs.Int("points", 10, "number of sweep intervals covering [0, theta]")
 		timeout    = fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 		keepGoing  = fs.Bool("keep-going", false, "skip failed experiments or sweep points and report them at the end")
+		parallel   = fs.Int("parallel", 0, "worker-pool size for batch evaluation (0 = all cores, 1 = sequential); results are identical at every setting")
+		metricsVal = fs.String("metrics", "", "dump run metrics to stderr after -all, -sweep or -modelcheck: \"text\" or \"json\"")
 
 		theta    = fs.Float64("theta", 10000, "time to next upgrade (hours)")
 		lambda   = fs.Float64("lambda", 1200, "message-sending rate (1/h)")
@@ -118,6 +120,11 @@ func run(args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	switch *metricsVal {
+	case "", "text", "json":
+	default:
+		return fmt.Errorf("-metrics must be \"text\" or \"json\", got %q", *metricsVal)
+	}
 
 	params := mdcd.Params{
 		Theta: *theta, Lambda: *lambda, MuNew: *muNew, MuOld: *muOld,
@@ -134,7 +141,7 @@ func run(args []string) error {
 		return nil
 
 	case *modelcheck:
-		return modelCheck(params, os.Stdout)
+		return modelCheck(params, os.Stdout, *metricsVal)
 
 	case *selfcheck:
 		return selfCheck(ctx, params, os.Stdout)
@@ -144,7 +151,13 @@ func run(args []string) error {
 			KeepGoing: *keepGoing,
 			OutDir:    *outDir,
 			Divider:   divider,
+			Workers:   *parallel,
 		})
+		if rep != nil && rep.Report != nil {
+			if merr := dumpMetrics(*metricsVal, rep.Report.Metrics); merr != nil && err == nil {
+				err = merr
+			}
+		}
 		if err != nil {
 			return err
 		}
@@ -172,7 +185,14 @@ func run(args []string) error {
 		return e.Run(os.Stdout)
 
 	case *sweepMode:
-		return sweep(ctx, params, *points, *optimize, *csvOut, *keepGoing)
+		return sweep(ctx, params, sweepConfig{
+			points:    *points,
+			refine:    *optimize,
+			csvOut:    *csvOut,
+			keepGoing: *keepGoing,
+			workers:   *parallel,
+			metrics:   *metricsVal,
+		})
 
 	default:
 		fs.Usage()
@@ -182,17 +202,50 @@ func run(args []string) error {
 
 const divider = "================================================================"
 
-func sweep(ctx context.Context, p mdcd.Params, points int, refine, csvOut, keepGoing bool) error {
+// dumpMetrics writes the collected run metrics to stderr in the requested
+// mode ("" = off, "text", "json"). Stderr keeps -csv and report output on
+// stdout machine-parseable.
+func dumpMetrics(mode string, m *robust.Metrics) error {
+	switch mode {
+	case "":
+		return nil
+	case "json":
+		if m == nil {
+			m = robust.NewMetrics(0, 0)
+		}
+		return m.WriteJSON(os.Stderr)
+	default:
+		m.WriteText(os.Stderr)
+		return nil
+	}
+}
+
+// sweepConfig carries the sweep-mode flag values.
+type sweepConfig struct {
+	points    int
+	refine    bool
+	csvOut    bool
+	keepGoing bool
+	workers   int
+	metrics   string
+}
+
+func sweep(ctx context.Context, p mdcd.Params, cfg sweepConfig) error {
 	a, err := core.NewAnalyzer(p)
 	if err != nil {
 		return err
 	}
-	grid := core.SweepGrid(p.Theta, points)
-	pr, err := a.CurvePartial(ctx, grid)
+	grid := core.SweepGrid(p.Theta, cfg.points)
+	pr, err := a.CurvePartialWorkers(ctx, grid, cfg.workers)
+	if pr != nil && pr.Report != nil {
+		if merr := dumpMetrics(cfg.metrics, pr.Report.Metrics); merr != nil && err == nil {
+			err = merr
+		}
+	}
 	if err != nil {
 		return err
 	}
-	if !keepGoing {
+	if !cfg.keepGoing {
 		if rerr := pr.Report.Err(); rerr != nil {
 			return fmt.Errorf("%v (rerun with -keep-going to sweep the surviving points)", rerr)
 		}
@@ -203,7 +256,7 @@ func sweep(ctx context.Context, p mdcd.Params, points int, refine, csvOut, keepG
 		phis = append(phis, grid[i])
 	}
 
-	if csvOut {
+	if cfg.csvOut {
 		c := experiments.Curve{Label: "sweep", Params: p, Phis: phis, Results: results}
 		return experiments.WriteResultsCSV(os.Stdout, c)
 	}
@@ -238,8 +291,8 @@ func sweep(ctx context.Context, p mdcd.Params, points int, refine, csvOut, keepG
 			pr.Report.Failed(), pr.Report.Total, pr.Report.Summary())
 	}
 	fmt.Printf("optimal phi (grid) = %.0f with Y = %.4f\n", best.Phi, best.Y)
-	if refine {
-		refined, err := a.OptimizePhiContext(ctx, core.OptimizeOptions{})
+	if cfg.refine {
+		refined, err := a.OptimizePhiContext(ctx, core.OptimizeOptions{Workers: cfg.workers})
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -239,6 +240,103 @@ func TestSweepKeepGoingSkipsBadPoints(t *testing.T) {
 	}
 	if !strings.Contains(out, "optimal phi (grid)") {
 		t.Errorf("keep-going sweep lost the optimum:\n%s", out)
+	}
+}
+
+// captureStderr redirects stderr around fn — the metrics dump goes there
+// so it never mixes with report output or CSV on stdout.
+func captureStderr(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	defer func() { os.Stderr = old }()
+
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 0, 1<<16)
+		tmp := make([]byte, 4096)
+		for {
+			n, err := r.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(buf)
+	}()
+	runErr := fn()
+	w.Close()
+	out := <-done
+	return out, runErr
+}
+
+func TestRunRejectsBogusMetricsMode(t *testing.T) {
+	if _, err := capture(t, func() error {
+		return run([]string{"-sweep", "-points", "2", "-theta", "2000", "-metrics", "bogus"})
+	}); err == nil || !strings.Contains(err.Error(), "metrics") {
+		t.Errorf("err = %v, want a -metrics validation error", err)
+	}
+}
+
+func TestRunSweepParallelMatchesSequential(t *testing.T) {
+	argv := func(workers string) []string {
+		return []string{"-sweep", "-points", "4", "-theta", "2000", "-parallel", workers}
+	}
+	seq, err := capture(t, func() error { return run(argv("1")) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := capture(t, func() error { return run(argv("4")) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != par {
+		t.Errorf("-parallel 4 sweep output differs from sequential:\n--- seq ---\n%s--- par ---\n%s", seq, par)
+	}
+}
+
+func TestModelCheckMetricsJSON(t *testing.T) {
+	stderr, err := captureStderr(t, func() error {
+		_, runErr := capture(t, func() error {
+			return run([]string{"-modelcheck", "-metrics", "json"})
+		})
+		return runErr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m robust.Metrics
+	if jerr := json.Unmarshal([]byte(stderr), &m); jerr != nil {
+		t.Fatalf("-metrics json did not emit parseable JSON on stderr: %v\n%s", jerr, stderr)
+	}
+	// The baseline model set is clean, so every per-check counter exists
+	// with zero findings; the RMGd generator-row check must be among them.
+	if len(m.Checks) == 0 {
+		t.Fatalf("metrics carry no model-check counters:\n%s", stderr)
+	}
+	for key, c := range m.Checks {
+		if c.Findings != 0 || c.Elided != 0 {
+			t.Errorf("baseline model check %s reports findings: %+v", key, c)
+		}
+	}
+}
+
+func TestModelCheckMetricsText(t *testing.T) {
+	stderr, err := captureStderr(t, func() error {
+		_, runErr := capture(t, func() error {
+			return run([]string{"-modelcheck", "-metrics", "text"})
+		})
+		return runErr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr, "model checks:") {
+		t.Errorf("text metrics missing model-check section:\n%s", stderr)
 	}
 }
 

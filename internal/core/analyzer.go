@@ -264,7 +264,7 @@ func (r *Result) checkInvariants() error {
 // point (the strict historical contract). Sweeps that should survive
 // degenerate regions use CurvePartial instead.
 func (a *Analyzer) Curve(phis []float64) ([]Result, error) {
-	pr, err := a.curveBatch(context.Background(), phis, true)
+	pr, err := a.curveBatch(context.Background(), phis, true, 1)
 	if err != nil {
 		// Surface the per-point cause, not the batch wrapper.
 		if len(pr.Report.Failures) > 0 {
@@ -279,9 +279,18 @@ func (a *Analyzer) Curve(phis []float64) ([]Result, error) {
 // runner: a φ whose evaluation fails (degenerate measures, invariant
 // violation, non-finite solve) is skipped and recorded in the report
 // instead of aborting the sweep. The error is non-nil only when the
-// context is canceled or every point fails.
+// context is canceled or every point fails. Points are evaluated on a
+// worker pool using every core; use CurvePartialWorkers to bound it.
 func (a *Analyzer) CurvePartial(ctx context.Context, phis []float64) (*robust.PartialResult[Result], error) {
-	pr, err := a.curveBatch(ctx, phis, false)
+	return a.CurvePartialWorkers(ctx, phis, 0)
+}
+
+// CurvePartialWorkers is CurvePartial with an explicit worker-pool bound
+// (0 = every core, 1 = sequential). The Analyzer is immutable after
+// construction, so concurrent evaluation is safe and the sweep's results
+// and report are identical for every worker count.
+func (a *Analyzer) CurvePartialWorkers(ctx context.Context, phis []float64, workers int) (*robust.PartialResult[Result], error) {
+	pr, err := a.curveBatch(ctx, phis, false, workers)
 	if err != nil {
 		return pr, err
 	}
@@ -291,10 +300,12 @@ func (a *Analyzer) CurvePartial(ctx context.Context, phis []float64) (*robust.Pa
 	return pr, nil
 }
 
-func (a *Analyzer) curveBatch(ctx context.Context, phis []float64, strict bool) (*robust.PartialResult[Result], error) {
+func (a *Analyzer) curveBatch(ctx context.Context, phis []float64, strict bool, workers int) (*robust.PartialResult[Result], error) {
+	// The strict curve keeps its historical fail-fast contract, which
+	// RunBatch guarantees by running StopOnError batches sequentially.
 	return robust.RunBatch(ctx, phis, func(_ context.Context, phi float64) (Result, error) {
 		return a.Evaluate(phi)
-	}, robust.BatchOptions{StopOnError: strict})
+	}, robust.BatchOptions{StopOnError: strict, Workers: workers})
 }
 
 // OptimalPhi evaluates the given candidate durations and returns the result

@@ -21,6 +21,13 @@ type OptimizeOptions struct {
 	Tolerance float64
 	// Policy selects the γ treatment (default the paper's).
 	Policy GammaPolicy
+	// Workers bounds how many coarse-grid points are evaluated
+	// concurrently: 0 (the default) uses every core, 1 evaluates
+	// sequentially. The Analyzer is immutable after construction, so
+	// concurrent evaluation is safe and the bracket (hence the refined
+	// optimum) is identical for every worker count. The golden-section
+	// refinement is inherently sequential and unaffected.
+	Workers int
 }
 
 // OptimizePhi finds the guarded-operation duration maximising Y over
@@ -61,7 +68,7 @@ func (a *Analyzer) OptimizePhiContext(ctx context.Context, opts OptimizeOptions)
 	grid := SweepGrid(theta, opts.GridPoints)
 	pr, err := robust.RunBatch(ctx, grid, func(_ context.Context, phi float64) (Result, error) {
 		return eval(phi)
-	}, robust.BatchOptions{})
+	}, robust.BatchOptions{Workers: opts.Workers})
 	if err != nil {
 		return Result{}, err
 	}

@@ -65,6 +65,27 @@ func TestOptimizePhiLowCoverageFindsBoundary(t *testing.T) {
 	}
 }
 
+func TestOptimizePhiParallelMatchesSequential(t *testing.T) {
+	a := newAnalyzer(t, nil)
+	seq, err := a.OptimizePhi(OptimizeOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 4} {
+		par, err := a.OptimizePhi(OptimizeOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		// The coarse grid scan is the only parallel stage and the golden
+		// section that follows is seeded by its argmax, so any worker count
+		// must land on bit-identical results.
+		if par.Phi != seq.Phi || par.Y != seq.Y {
+			t.Errorf("workers=%d: (phi, Y) = (%v, %v), want (%v, %v)",
+				workers, par.Phi, par.Y, seq.Phi, seq.Y)
+		}
+	}
+}
+
 func TestOptimizePhiBadOptions(t *testing.T) {
 	a := newAnalyzer(t, nil)
 	if _, err := a.OptimizePhi(OptimizeOptions{GridPoints: 1}); err == nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"io"
@@ -13,7 +14,9 @@ import (
 // RunOptions configures a batch run of every registered experiment.
 type RunOptions struct {
 	// KeepGoing skips a failed experiment (recording it in the report)
-	// instead of aborting the batch at the first failure.
+	// instead of aborting the batch at the first failure. Without
+	// KeepGoing the batch runs sequentially (so nothing runs past the
+	// first failure); with it, experiments run on a bounded worker pool.
 	KeepGoing bool
 	// OutDir, when non-empty, additionally writes each experiment's report
 	// to <OutDir>/<id>.txt.
@@ -21,6 +24,12 @@ type RunOptions struct {
 	// Divider, when non-empty, is printed between consecutive experiment
 	// reports.
 	Divider string
+	// Workers bounds how many experiments run concurrently when KeepGoing
+	// is set: 0 (the default) uses every core, 1 runs sequentially. Each
+	// experiment writes into its own buffer; the buffers are emitted to w
+	// in experiment-id order once the batch has drained, so the output is
+	// identical for every worker count.
+	Workers int
 }
 
 // RunReport summarises a batch run of the experiment suite.
@@ -60,6 +69,15 @@ func (r *RunReport) Summary() string {
 // KeepGoing is off and an experiment failed, or when an output file
 // cannot be created.
 //
+// Each experiment renders into its own buffer and the buffers are written
+// to w in experiment-id order after the batch drains, separated by
+// opts.Divider — so concurrent experiments (opts.Workers) never
+// interleave their output, and a divider is only ever emitted together
+// with the report that follows it. An experiment that fails mid-report
+// still has the partial output it produced emitted, exactly as the
+// sequential runner did; an experiment whose output file cannot be
+// created produces no output and therefore no divider.
+//
 // The RunReport is always returned (also alongside a non-nil error) so
 // callers can tell which experiments completed.
 func RunAll(ctx context.Context, w io.Writer, opts RunOptions) (*RunReport, error) {
@@ -73,13 +91,12 @@ func RunAll(ctx context.Context, w io.Writer, opts RunOptions) (*RunReport, erro
 	for i, e := range all {
 		rep.IDs[i] = e.ID
 	}
-	first := true
-	pr, err := robust.RunBatch(ctx, all, func(_ context.Context, e Experiment) (struct{}, error) {
-		if !first && opts.Divider != "" {
-			fmt.Fprintf(w, "\n%s\n\n", opts.Divider)
-		}
-		first = false
-		out := w
+	// One buffer per experiment, indexed like the batch, written only by
+	// the worker that owns the item.
+	bufs := make([]bytes.Buffer, len(all))
+	pr, err := robust.RunBatch(ctx, indicesOf(all), func(_ context.Context, i int) (struct{}, error) {
+		e := all[i]
+		out := io.Writer(&bufs[i])
 		var file *os.File
 		if opts.OutDir != "" {
 			var err error
@@ -87,7 +104,7 @@ func RunAll(ctx context.Context, w io.Writer, opts RunOptions) (*RunReport, erro
 			if err != nil {
 				return struct{}{}, err
 			}
-			out = io.MultiWriter(w, file)
+			out = io.MultiWriter(&bufs[i], file)
 		}
 		err := e.Run(out)
 		if file != nil {
@@ -99,7 +116,33 @@ func RunAll(ctx context.Context, w io.Writer, opts RunOptions) (*RunReport, erro
 			return struct{}{}, fmt.Errorf("%s: %w", e.ID, err)
 		}
 		return struct{}{}, nil
-	}, robust.BatchOptions{StopOnError: !opts.KeepGoing})
+	}, robust.BatchOptions{StopOnError: !opts.KeepGoing, Workers: opts.Workers})
 	rep.Report = pr.Report
+
+	first := true
+	for i := range bufs {
+		if bufs[i].Len() == 0 {
+			continue
+		}
+		if !first && opts.Divider != "" {
+			if _, werr := fmt.Fprintf(w, "\n%s\n\n", opts.Divider); werr != nil {
+				return rep, werr
+			}
+		}
+		first = false
+		if _, werr := w.Write(bufs[i].Bytes()); werr != nil {
+			return rep, werr
+		}
+	}
 	return rep, err
+}
+
+// indicesOf returns [0, len(s)) so a batch can range over item indices
+// while the per-item state lives in slices owned by the caller.
+func indicesOf(s []Experiment) []int {
+	idx := make([]int, len(s))
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
 }

@@ -3,8 +3,10 @@ package experiments
 import (
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -98,6 +100,105 @@ func TestRunAllCancellation(t *testing.T) {
 	_, err := RunAll(ctx, io.Discard, RunOptions{KeepGoing: true})
 	if !errors.Is(err, robust.ErrCanceled) {
 		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestRunAllKeepGoingFailedCreateOmitsDividerAndReport is the regression
+// for the stray-divider bug: an experiment whose output file cannot be
+// created must be recorded as failed and contribute neither report text
+// nor a divider, while the rest of the suite still runs.
+func TestRunAllKeepGoingFailedCreateOmitsDividerAndReport(t *testing.T) {
+	fastExperiments(t, "table3")
+	withTempExperiment(t, Experiment{
+		ID:    "aa-blocked",
+		Title: "output file cannot be created",
+		Run: func(w io.Writer) error {
+			fmt.Fprintln(w, "MUST-NOT-APPEAR")
+			return nil
+		},
+	})
+	dir := t.TempDir()
+	// A directory squatting on the output path makes os.Create fail.
+	if err := os.Mkdir(filepath.Join(dir, "aa-blocked.txt"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	rep, err := RunAll(context.Background(), &sb, RunOptions{
+		KeepGoing: true, OutDir: dir, Divider: "=====",
+	})
+	if err != nil {
+		t.Fatalf("keep-going run aborted on a failed create: %v", err)
+	}
+	if ids := rep.FailedIDs(); len(ids) != 1 || ids[0] != "aa-blocked" {
+		t.Fatalf("failed ids = %v, want [aa-blocked]", ids)
+	}
+	out := sb.String()
+	if strings.Contains(out, "MUST-NOT-APPEAR") {
+		t.Error("experiment with failed output file still produced report text")
+	}
+	if strings.Contains(out, "=====") {
+		t.Errorf("stray divider emitted for an empty report:\n%s", out)
+	}
+	if !strings.Contains(out, "10000") {
+		t.Errorf("surviving experiment missing from output:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "table3.txt")); err != nil {
+		t.Errorf("surviving experiment's file missing: %v", err)
+	}
+}
+
+// TestRunAllParallelOutputInIDOrder runs experiments that deliberately
+// finish in reverse order on a multi-worker pool and checks the emitted
+// reports still appear in experiment-id order with one divider between
+// each pair.
+func TestRunAllParallelOutputInIDOrder(t *testing.T) {
+	fastExperiments(t) // empty baseline
+	ccDone := make(chan struct{})
+	bbDone := make(chan struct{})
+	withTempExperiment(t, Experiment{
+		ID: "aa-last", Title: "finishes last",
+		Run: func(w io.Writer) error {
+			<-bbDone
+			fmt.Fprintln(w, "REPORT-aa")
+			return nil
+		},
+	})
+	withTempExperiment(t, Experiment{
+		ID: "bb-middle", Title: "finishes second",
+		Run: func(w io.Writer) error {
+			<-ccDone
+			fmt.Fprintln(w, "REPORT-bb")
+			close(bbDone)
+			return nil
+		},
+	})
+	withTempExperiment(t, Experiment{
+		ID: "cc-first", Title: "finishes first",
+		Run: func(w io.Writer) error {
+			fmt.Fprintln(w, "REPORT-cc")
+			close(ccDone)
+			return nil
+		},
+	})
+	var sb strings.Builder
+	rep, err := RunAll(context.Background(), &sb, RunOptions{
+		KeepGoing: true, Workers: 3, Divider: "-----",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Report.Succeeded() != 3 {
+		t.Fatalf("report: %s", rep.Summary())
+	}
+	out := sb.String()
+	ia := strings.Index(out, "REPORT-aa")
+	ib := strings.Index(out, "REPORT-bb")
+	ic := strings.Index(out, "REPORT-cc")
+	if ia < 0 || ib < 0 || ic < 0 || !(ia < ib && ib < ic) {
+		t.Errorf("reports not in id order (aa@%d bb@%d cc@%d):\n%s", ia, ib, ic, out)
+	}
+	if n := strings.Count(out, "-----"); n != 2 {
+		t.Errorf("divider count = %d, want 2:\n%s", n, out)
 	}
 }
 

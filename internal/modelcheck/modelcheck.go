@@ -101,6 +101,7 @@ func CheckSpace(name string, sp *statespace.Space, opts Options) *Report {
 
 // checkGenerator re-verifies the CTMC generator from its stored CSR.
 func (r *Report) checkGenerator(sp *statespace.Space) {
+	r.ran("generator-shape", "generator-finite", "generator-offdiag", "generator-diag", "generator-row-sum")
 	gen := sp.Chain.Generator()
 	n := sp.Chain.NumStates()
 	if gen.Rows() != n || gen.Cols() != n {
@@ -136,6 +137,7 @@ func (r *Report) checkGenerator(sp *statespace.Space) {
 
 // checkInitial verifies the initial distribution.
 func (r *Report) checkInitial(sp *statespace.Space) {
+	r.ran("initial-length", "initial-entry", "initial-mass")
 	n := sp.Chain.NumStates()
 	if len(sp.Initial) != n {
 		r.add(Issue{Check: "initial-length", Severity: SevError,
@@ -162,6 +164,7 @@ func (r *Report) checkInitial(sp *statespace.Space) {
 // or phantom transitions break impulse rewards even when state
 // probabilities are right).
 func (r *Report) checkTransitions(sp *statespace.Space) {
+	r.ran("transition-range", "transition-rate", "transition-consistency")
 	n := sp.Chain.NumStates()
 	agg := make(map[[2]int]float64, len(sp.Transitions))
 	for _, tr := range sp.Transitions {
@@ -204,6 +207,7 @@ func (r *Report) checkTransitions(sp *statespace.Space) {
 // checkReachability flags states unreachable from the initial support and
 // returns the reachable set.
 func (r *Report) checkReachability(sp *statespace.Space) []bool {
+	r.ran("unreachable-state")
 	n := sp.Chain.NumStates()
 	succ := adjacency(sp, false)
 	reach := make([]bool, n)
@@ -242,6 +246,7 @@ func (r *Report) checkReachability(sp *statespace.Space) []bool {
 func (r *Report) checkClasses(sp *statespace.Space, absorbing []int, reach []bool) {
 	n := sp.Chain.NumStates()
 	if len(absorbing) > 0 {
+		r.ran("absorbing-unreachable")
 		pred := adjacency(sp, true)
 		canAbsorb := make([]bool, n)
 		queue := append([]int(nil), absorbing...)
@@ -269,6 +274,7 @@ func (r *Report) checkClasses(sp *statespace.Space, absorbing []int, reach []boo
 	// No absorbing states: require one communicating class over the
 	// reachable states (forward- and backward-reachability from any
 	// reachable seed must agree).
+	r.ran("not-irreducible")
 	seed := -1
 	for i := 0; i < n; i++ {
 		if reach[i] {

@@ -228,6 +228,32 @@ func TestIssueCapKeepsReportReadable(t *testing.T) {
 	}
 }
 
+func TestCountersReportFindingsElisionsAndCleanChecks(t *testing.T) {
+	// Same over-cap generator as the elision test: 64 row-sum findings
+	// against a cap of 5.
+	n := 64
+	coo := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 1)
+	}
+	sp := &statespace.Space{Chain: ctmc.NewUnchecked(coo), Initial: make([]float64, n)}
+	sp.Initial[0] = 1
+	rep := modelcheck.CheckSpace("noisy", sp, modelcheck.Options{})
+	c := rep.Counters()
+	if got := c["generator-row-sum"]; got.Findings != 64 || got.Elided != 59 {
+		t.Errorf("generator-row-sum counters = %+v, want findings 64 elided 59", got)
+	}
+	// A check that ran and found nothing still appears, with zeros: the
+	// counter dump doubles as a record of verification coverage.
+	clean, ok := c["generator-offdiag"]
+	if !ok {
+		t.Fatalf("clean check missing from counters: %v", c)
+	}
+	if clean.Findings != 0 || clean.Elided != 0 {
+		t.Errorf("clean check counters = %+v, want zeros", clean)
+	}
+}
+
 func TestCleanSpacePasses(t *testing.T) {
 	// A healthy absorbing birth-death chain: PASS report, nil Err, and a
 	// text rendering that says so.

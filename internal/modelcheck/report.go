@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"guardedop/internal/reward"
+	"guardedop/internal/robust"
 )
 
 // Report is the outcome of verifying one model.
@@ -37,6 +38,36 @@ func (r *Report) add(i Issue) {
 		return
 	}
 	r.Issues = append(r.Issues, i)
+}
+
+// ran registers checks as executed so Counters reports them with zero
+// findings on a clean model — a dump that names the checks that ran is
+// evidence of coverage, not just of silence.
+func (r *Report) ran(checks ...string) {
+	for _, c := range checks {
+		if _, ok := r.perCheck[c]; !ok {
+			r.perCheck[c] = 0
+		}
+	}
+}
+
+// Counters returns the per-check finding and elision counts, keyed by
+// check name: Findings is how many findings the check produced in total
+// (zero for a check that ran clean), Elided how many of them the
+// per-check cap dropped from Issues. The result plugs straight into
+// robust.(*Metrics).AddChecks, which is how the CLI routes
+// model-verification health through the same metrics structure as solver
+// health (docs/ROBUSTNESS.md).
+func (r *Report) Counters() map[string]robust.CheckCounters {
+	out := make(map[string]robust.CheckCounters, len(r.perCheck))
+	for check, n := range r.perCheck {
+		c := robust.CheckCounters{Findings: n}
+		if r.opts.MaxIssuesPerCheck > 0 && n > r.opts.MaxIssuesPerCheck {
+			c.Elided = n - r.opts.MaxIssuesPerCheck
+		}
+		out[check] = c
+	}
+	return out
 }
 
 // OK reports whether no error-severity issue was found.
@@ -94,6 +125,7 @@ func (r *Report) WriteText(w io.Writer) {
 // ratio (Eq. 1): a per-state work rate above the ideal rate, or below
 // zero, would let the "fraction of ideal work" leave [0, 1].
 func (r *Report) CheckRewardRates(name string, rates []float64, lo, hi float64) {
+	r.ran("reward-length", "reward-finite", "reward-bounds")
 	if r.States > 0 && len(rates) != r.States {
 		r.add(Issue{Check: "reward-length", Severity: SevError,
 			Detail: fmt.Sprintf("reward %q has %d rates for %d states", name, len(rates), r.States)})
@@ -116,6 +148,7 @@ func (r *Report) CheckRewardRates(name string, rates []float64, lo, hi float64) 
 // work decrease on a completion, breaking the monotonicity E[W] proofs
 // rely on).
 func (r *Report) CheckImpulses(name string, s *reward.ImpulseStructure) {
+	r.ran("impulse-finite", "impulse-negative")
 	for _, item := range s.Items() {
 		if math.IsNaN(item.Impulse) || math.IsInf(item.Impulse, 0) {
 			r.add(Issue{Check: "impulse-finite", Severity: SevError,

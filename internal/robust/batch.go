@@ -2,8 +2,13 @@ package robust
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // BatchOptions tunes RunBatch.
@@ -15,12 +20,40 @@ type BatchOptions struct {
 	// attempt. Nil means no error is retried. Panics are never retried.
 	Retryable func(error) bool
 	// StopOnError aborts the batch at the first failed item instead of
-	// the default skip-and-record behaviour.
+	// the default skip-and-record behaviour. A StopOnError batch always
+	// runs sequentially (Workers is ignored) so "nothing runs past the
+	// first failure" stays exact.
 	StopOnError bool
 	// MinSuccessFraction in (0,1] makes RunBatch return an error wrapping
 	// ErrTooManyFailures when fewer than this fraction of items succeed.
 	// Zero disables the floor (any number of survivors is acceptable).
 	MinSuccessFraction float64
+	// Workers bounds how many items are evaluated concurrently: 0 (the
+	// default) uses runtime.GOMAXPROCS(0), 1 runs the batch sequentially
+	// in the calling goroutine, and any larger value is the pool size
+	// (capped at the item count). Results, OK and the Report are
+	// index-aligned and identical for every worker count — items must not
+	// share mutable state through fn, but the batch layer itself never
+	// reorders outcomes. Only the wall-clock metrics vary between runs.
+	Workers int
+}
+
+// workerCount resolves the configured pool size against the item count.
+func (o BatchOptions) workerCount(items int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if o.StopOnError {
+		w = 1
+	}
+	if w > items {
+		w = items
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // ItemError records one failed batch item.
@@ -44,6 +77,9 @@ type Report struct {
 	Completed int
 	// Failures lists the failed items in input order.
 	Failures []ItemError
+	// Metrics carries the observability counters of the run. RunBatch
+	// always populates it; hand-built reports may leave it nil.
+	Metrics *Metrics
 }
 
 // Failed returns the number of failed items.
@@ -110,10 +146,29 @@ func (p *PartialResult[R]) SuccessIndices() []int {
 	return out
 }
 
-// RunBatch runs fn over items sequentially with per-item panic recovery,
-// bounded retry of transient failures, and cancellation between items. A
-// failed item is skipped and recorded in the report rather than aborting
-// the batch (unless opts.StopOnError is set).
+// itemState is one item's outcome, written by exactly one worker and read
+// only after the pool has drained.
+type itemState[R any] struct {
+	res      R
+	err      error
+	attempts int
+	panicked bool
+	nanos    int64
+	started  bool
+}
+
+// RunBatch runs fn over items on a bounded worker pool (see
+// BatchOptions.Workers) with per-item panic recovery, bounded retry of
+// transient failures, and cancellation between items. A failed item is
+// skipped and recorded in the report rather than aborting the batch
+// (unless opts.StopOnError is set).
+//
+// The outcome is deterministic in everything but wall-clock: Results and
+// OK are aligned with the input, Report.Failures is sorted by item index,
+// and a given (items, fn, opts) produces the same successes, failures and
+// attempt counts at every worker count. Cancellation marks every item
+// that had not started when the context ended as ErrCanceled; items
+// already in flight run to completion and keep their results.
 //
 // The returned PartialResult is never nil. The error is non-nil only when
 // the batch as a whole is unusable: the context was canceled (wraps
@@ -124,48 +179,100 @@ func RunBatch[T, R any](ctx context.Context, items []T, fn func(ctx context.Cont
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	workers := opts.workerCount(len(items))
 	out := &PartialResult[R]{
 		Results: make([]R, len(items)),
 		OK:      make([]bool, len(items)),
-		Report:  &Report{Total: len(items)},
+		Report:  &Report{Total: len(items), Metrics: NewMetrics(len(items), workers)},
 	}
-	record := func(i, attempts int, err error) {
-		out.Report.Failures = append(out.Report.Failures, ItemError{Index: i, Attempts: attempts, Err: err})
-	}
-	for i, item := range items {
-		if err := ctx.Err(); err != nil {
-			// Mark this and every remaining item as canceled so the
-			// report stays a complete account of the batch.
-			for j := i; j < len(items); j++ {
-				record(j, 0, fmt.Errorf("%w: %v", ErrCanceled, err))
-			}
-			return out, fmt.Errorf("robust: batch stopped after %d/%d items: %w (%v)",
-				i, len(items), ErrCanceled, err)
-		}
-		var (
-			res      R
-			err      error
-			panicked bool
-			attempts int
-		)
+
+	states := make([]itemState[R], len(items))
+	var (
+		next    atomic.Int64
+		stopped atomic.Bool // StopOnError tripped
+	)
+	start := time.Now()
+	work := func() {
 		for {
-			attempts++
-			res, err, panicked = runItem(ctx, item, fn)
-			if err == nil || panicked || attempts > opts.Retries ||
-				opts.Retryable == nil || !opts.Retryable(err) || ctx.Err() != nil {
-				break
+			i := int(next.Add(1)) - 1
+			if i >= len(items) {
+				return
+			}
+			if ctx.Err() != nil || stopped.Load() {
+				return
+			}
+			st := &states[i]
+			st.started = true
+			runAttempts(ctx, items[i], fn, opts, st)
+			if st.err != nil && opts.StopOnError {
+				stopped.Store(true)
 			}
 		}
-		if err != nil {
-			record(i, attempts, err)
-			if opts.StopOnError {
-				return out, fmt.Errorf("robust: batch stopped at item %d: %w", i, err)
+	}
+	if workers == 1 {
+		work()
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				work()
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Aggregate in input order so Report.Failures comes out sorted by item
+	// index regardless of completion order.
+	m := out.Report.Metrics
+	ctxErr := ctx.Err()
+	ran := 0
+	canceledItem := false
+	for i := range states {
+		st := &states[i]
+		if !st.started {
+			// Items a StopOnError batch never reached stay unrecorded (the
+			// historical sequential contract); items a cancellation cut off
+			// are accounted as canceled so the report stays complete.
+			if ctxErr != nil {
+				cerr := fmt.Errorf("%w: %v", ErrCanceled, ctxErr)
+				m.countError(cerr)
+				out.Report.Failures = append(out.Report.Failures, ItemError{Index: i, Err: cerr})
+				canceledItem = true
 			}
 			continue
 		}
-		out.Results[i] = res
+		ran++
+		m.Attempts += int64(st.attempts)
+		if st.attempts > 1 {
+			m.Retries += int64(st.attempts - 1)
+		}
+		if st.panicked {
+			m.Panics++
+		}
+		m.ItemNanos[i] = st.nanos
+		if st.err != nil {
+			m.countError(st.err)
+			if errors.Is(st.err, ErrCanceled) {
+				canceledItem = true
+			}
+			out.Report.Failures = append(out.Report.Failures, ItemError{Index: i, Attempts: st.attempts, Err: st.err})
+			continue
+		}
+		out.Results[i] = st.res
 		out.OK[i] = true
 		out.Report.Completed++
+	}
+	m.WallNanos = time.Since(start).Nanoseconds()
+
+	if ctxErr != nil && canceledItem {
+		return out, fmt.Errorf("robust: batch stopped after %d/%d items: %w (%v)",
+			ran, len(items), ErrCanceled, ctxErr)
+	}
+	if opts.StopOnError && len(out.Report.Failures) > 0 {
+		f := out.Report.Failures[0]
+		return out, fmt.Errorf("robust: batch stopped at item %d: %w", f.Index, f.Err)
 	}
 	if f := opts.MinSuccessFraction; f > 0 && len(items) > 0 {
 		if got := float64(out.Report.Succeeded()) / float64(len(items)); got < f {
@@ -174,6 +281,34 @@ func RunBatch[T, R any](ctx context.Context, items []T, fn func(ctx context.Cont
 		}
 	}
 	return out, nil
+}
+
+// runAttempts executes one item's attempt/retry loop, recording the
+// outcome and its wall clock into st. A cancellation observed where a
+// retry would otherwise happen is recorded as the item's failure wrapped
+// in ErrCanceled (with the triggering attempt error still reachable via
+// errors.Is), not as an ordinary solver failure.
+func runAttempts[T, R any](ctx context.Context, item T, fn func(context.Context, T) (R, error), opts BatchOptions, st *itemState[R]) {
+	t0 := time.Now()
+	defer func() { st.nanos = time.Since(t0).Nanoseconds() }()
+	for {
+		st.attempts++
+		res, err, panicked := runItem(ctx, item, fn)
+		if err == nil {
+			st.res, st.err = res, nil
+			return
+		}
+		st.err = err
+		st.panicked = st.panicked || panicked
+		if panicked || st.attempts > opts.Retries ||
+			opts.Retryable == nil || !opts.Retryable(err) {
+			return
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			st.err = fmt.Errorf("%w: %v (interrupted retry of: %w)", ErrCanceled, cerr, err)
+			return
+		}
+	}
 }
 
 // runItem executes one attempt with panic recovery.

@@ -4,6 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -163,6 +167,175 @@ func TestRunBatchMinSuccessFraction(t *testing.T) {
 	}
 	if _, err := RunBatch(context.Background(), items, fn, BatchOptions{MinSuccessFraction: 0.4}); err != nil {
 		t.Fatalf("40%% floor rejected 40%% survival: %v", err)
+	}
+}
+
+// TestRunBatchParallelMatchesSequential locks the determinism contract:
+// the same items, fn and failure pattern produce identical Results, OK
+// and Report at every worker count.
+func TestRunBatchParallelMatchesSequential(t *testing.T) {
+	transient := errors.New("transient")
+	hard := errors.New("hard failure")
+	items := make([]int, 40)
+	for i := range items {
+		items[i] = i
+	}
+	mkFn := func() func(context.Context, int) (int, error) {
+		var mu sync.Mutex
+		tries := make(map[int]int)
+		return func(_ context.Context, v int) (int, error) {
+			mu.Lock()
+			tries[v]++
+			n := tries[v]
+			mu.Unlock()
+			switch {
+			case v%7 == 3:
+				return 0, fmt.Errorf("item %d: %w", v, hard)
+			case v%5 == 2 && n == 1:
+				return 0, fmt.Errorf("item %d: %w", v, transient)
+			}
+			return v * v, nil
+		}
+	}
+	opts := BatchOptions{Retries: 2, Retryable: func(err error) bool { return errors.Is(err, transient) }}
+
+	opts.Workers = 1
+	seq, seqErr := RunBatch(context.Background(), items, mkFn(), opts)
+	for _, workers := range []int{2, 4, 16} {
+		opts.Workers = workers
+		par, parErr := RunBatch(context.Background(), items, mkFn(), opts)
+		if (seqErr == nil) != (parErr == nil) {
+			t.Fatalf("workers=%d error mismatch: %v vs %v", workers, seqErr, parErr)
+		}
+		if !reflect.DeepEqual(seq.Results, par.Results) || !reflect.DeepEqual(seq.OK, par.OK) {
+			t.Errorf("workers=%d results diverge", workers)
+		}
+		if seq.Report.Completed != par.Report.Completed || len(seq.Report.Failures) != len(par.Report.Failures) {
+			t.Fatalf("workers=%d report counts diverge: %s vs %s",
+				workers, seq.Report.Summary(), par.Report.Summary())
+		}
+		for i, f := range par.Report.Failures {
+			sf := seq.Report.Failures[i]
+			if f.Index != sf.Index || f.Attempts != sf.Attempts || f.Err.Error() != sf.Err.Error() {
+				t.Errorf("workers=%d failure[%d] = %+v, want %+v", workers, i, f, sf)
+			}
+		}
+		if !sort.SliceIsSorted(par.Report.Failures, func(i, j int) bool {
+			return par.Report.Failures[i].Index < par.Report.Failures[j].Index
+		}) {
+			t.Errorf("workers=%d failures not sorted by index", workers)
+		}
+	}
+}
+
+// TestRunBatchParallelRunsConcurrently proves the pool actually runs
+// items at the configured width: every item blocks until all four are in
+// flight, which deadlocks unless four workers run them together.
+func TestRunBatchParallelRunsConcurrently(t *testing.T) {
+	var barrier sync.WaitGroup
+	barrier.Add(4)
+	pr, err := RunBatch(context.Background(), []int{0, 1, 2, 3}, func(_ context.Context, v int) (int, error) {
+		barrier.Done()
+		barrier.Wait()
+		return v, nil
+	}, BatchOptions{Workers: 4})
+	if err != nil || pr.Report.Succeeded() != 4 {
+		t.Fatalf("concurrent batch: err=%v report=%s", err, pr.Report.Summary())
+	}
+	if got := pr.Report.Metrics.Workers; got != 4 {
+		t.Errorf("resolved workers = %d, want 4", got)
+	}
+}
+
+// TestRunBatchCancelDuringRetry covers the mid-retry cancellation path: a
+// context canceled from inside fn between attempts must record the item
+// as canceled (not as an ordinary solver failure) and stop the batch with
+// the same remaining-items-canceled accounting as the pre-item check.
+func TestRunBatchCancelDuringRetry(t *testing.T) {
+	transient := errors.New("transient solver wobble")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	attempts := 0
+	pr, err := RunBatch(ctx, []int{10, 20, 30}, func(_ context.Context, v int) (int, error) {
+		if v == 20 {
+			attempts++
+			cancel() // dies mid-item; a retry would otherwise follow
+			return 0, transient
+		}
+		return v, nil
+	}, BatchOptions{Retries: 3, Retryable: func(err error) bool { return errors.Is(err, transient) }})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("batch error = %v, want ErrCanceled", err)
+	}
+	if attempts != 1 {
+		t.Errorf("canceled item retried anyway: attempts = %d", attempts)
+	}
+	if pr.Report.Succeeded() != 1 || pr.Report.Failed() != 2 {
+		t.Fatalf("report counts = %d ok / %d failed, want 1/2: %s",
+			pr.Report.Succeeded(), pr.Report.Failed(), pr.Report.Summary())
+	}
+	interrupted := pr.Report.Failures[0]
+	if interrupted.Index != 1 || !errors.Is(interrupted.Err, ErrCanceled) {
+		t.Errorf("interrupted item not recorded as canceled: %+v", interrupted)
+	}
+	if !errors.Is(interrupted.Err, transient) {
+		t.Errorf("interrupted item lost its triggering error: %v", interrupted.Err)
+	}
+	remaining := pr.Report.Failures[1]
+	if remaining.Index != 2 || !errors.Is(remaining.Err, ErrCanceled) || remaining.Attempts != 0 {
+		t.Errorf("remaining item not accounted as canceled: %+v", remaining)
+	}
+}
+
+// TestRunBatchParallelCancellation checks the canceled accounting stays
+// complete under a real pool: every item is either a success, a recorded
+// failure, or a recorded cancellation.
+func TestRunBatchParallelCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	items := make([]int, 32)
+	for i := range items {
+		items[i] = i
+	}
+	pr, err := RunBatch(ctx, items, func(c context.Context, v int) (int, error) {
+		if v == 3 {
+			cancel()
+		}
+		return v, nil
+	}, BatchOptions{Workers: 4})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if got := pr.Report.Completed + pr.Report.Failed(); got != len(items) {
+		t.Errorf("accounting incomplete: %d completed + %d failed != %d items",
+			pr.Report.Completed, pr.Report.Failed(), len(items))
+	}
+	for _, f := range pr.Report.Failures {
+		if !errors.Is(f.Err, ErrCanceled) {
+			t.Errorf("item %d failure is not a cancellation: %v", f.Index, f.Err)
+		}
+	}
+}
+
+// TestRunBatchStopOnErrorIgnoresWorkers: a StopOnError batch runs
+// sequentially whatever Workers says, so nothing runs past the failure.
+func TestRunBatchStopOnErrorIgnoresWorkers(t *testing.T) {
+	var calls atomic.Int64
+	pr, err := RunBatch(context.Background(), []int{0, 1, 2, 3, 4, 5, 6, 7}, func(_ context.Context, v int) (int, error) {
+		calls.Add(1)
+		if v == 2 {
+			return 0, errors.New("fatal")
+		}
+		return v, nil
+	}, BatchOptions{StopOnError: true, Workers: 8})
+	if err == nil {
+		t.Fatal("StopOnError batch returned nil error")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("calls = %d, want 3 (nothing past the first failure)", got)
+	}
+	if pr.Report.Metrics.Workers != 1 {
+		t.Errorf("StopOnError pool size = %d, want 1", pr.Report.Metrics.Workers)
 	}
 }
 

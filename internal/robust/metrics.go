@@ -1,0 +1,207 @@
+package robust
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Metrics aggregates the observability counters of one batch run. RunBatch
+// always collects one into Report.Metrics; callers may fold in further
+// counters — above all the static model-verification findings of
+// internal/modelcheck, routed through AddChecks — so one structure feeds
+// both solver-health and model-health dashboards (docs/ROBUSTNESS.md).
+//
+// A Metrics is written by a single goroutine (the batch aggregation step
+// runs after the worker pool has drained); it is not safe for concurrent
+// mutation.
+type Metrics struct {
+	// Attempts counts every fn invocation, including retries.
+	Attempts int64 `json:"attempts"`
+	// Retries counts the invocations beyond each item's first.
+	Retries int64 `json:"retries"`
+	// Panics counts the recovered panics.
+	Panics int64 `json:"panics"`
+	// Errors counts failed items by taxonomy class (see ErrorClass).
+	Errors map[string]int64 `json:"errors,omitempty"`
+	// ItemNanos is the per-item wall clock in nanoseconds, aligned with
+	// the batch input; zero for items that never started.
+	ItemNanos []int64 `json:"item_nanos"`
+	// WallNanos is the whole-batch wall clock in nanoseconds.
+	WallNanos int64 `json:"wall_nanos"`
+	// Workers is the resolved worker-pool size of the run.
+	Workers int `json:"workers"`
+	// Checks carries model-verification counters keyed "model/check",
+	// e.g. "RMGd/reward-bounds".
+	Checks map[string]CheckCounters `json:"checks,omitempty"`
+}
+
+// CheckCounters counts one static-analysis check's findings and how many
+// of them were elided from the rendered report by the per-check cap.
+type CheckCounters struct {
+	Findings int `json:"findings"`
+	Elided   int `json:"elided"`
+}
+
+// NewMetrics returns a Metrics sized for a batch of items run on the
+// given worker count.
+func NewMetrics(items, workers int) *Metrics {
+	return &Metrics{
+		Errors:    make(map[string]int64),
+		ItemNanos: make([]int64, items),
+		Workers:   workers,
+	}
+}
+
+// ErrorClass returns the stable label of err's place in the robustness
+// taxonomy, for counting failures by kind. Wrapped causes are honoured
+// through errors.Is; an error outside the taxonomy is "other", and a nil
+// error is "".
+func ErrorClass(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrPanic):
+		return "panic"
+	case errors.Is(err, ErrCanceled):
+		return "canceled"
+	case errors.Is(err, ErrTooManyFailures):
+		return "too-many-failures"
+	case errors.Is(err, ErrNotConverged):
+		return "not-converged"
+	case errors.Is(err, ErrIllConditioned):
+		return "ill-conditioned"
+	case errors.Is(err, ErrNonFinite):
+		return "non-finite"
+	case errors.Is(err, ErrInvariant):
+		return "invariant"
+	default:
+		return "other"
+	}
+}
+
+// countError tallies one failed item under its taxonomy class.
+func (m *Metrics) countError(err error) {
+	if m == nil || err == nil {
+		return
+	}
+	if m.Errors == nil {
+		m.Errors = make(map[string]int64)
+	}
+	m.Errors[ErrorClass(err)]++
+}
+
+// AddChecks folds one model's per-check verification counters into the
+// metrics under "model/check" keys, accumulating across calls.
+func (m *Metrics) AddChecks(model string, counters map[string]CheckCounters) {
+	if m == nil || len(counters) == 0 {
+		return
+	}
+	if m.Checks == nil {
+		m.Checks = make(map[string]CheckCounters)
+	}
+	for check, c := range counters {
+		key := model + "/" + check
+		prev := m.Checks[key]
+		prev.Findings += c.Findings
+		prev.Elided += c.Elided
+		m.Checks[key] = prev
+	}
+}
+
+// Merge accumulates another run's counters into m. Per-item wall clocks
+// are appended, so merging reports of consecutive batches keeps every
+// item's timing.
+func (m *Metrics) Merge(other *Metrics) {
+	if m == nil || other == nil {
+		return
+	}
+	m.Attempts += other.Attempts
+	m.Retries += other.Retries
+	m.Panics += other.Panics
+	m.WallNanos += other.WallNanos
+	for class, n := range other.Errors {
+		if m.Errors == nil {
+			m.Errors = make(map[string]int64)
+		}
+		m.Errors[class] += n
+	}
+	m.ItemNanos = append(m.ItemNanos, other.ItemNanos...)
+	for key, c := range other.Checks {
+		if m.Checks == nil {
+			m.Checks = make(map[string]CheckCounters)
+		}
+		prev := m.Checks[key]
+		prev.Findings += c.Findings
+		prev.Elided += c.Elided
+		m.Checks[key] = prev
+	}
+}
+
+// itemStats summarises the per-item wall clocks of the started items.
+func (m *Metrics) itemStats() (started int, total, maxNanos int64, maxIdx int) {
+	maxIdx = -1
+	for i, n := range m.ItemNanos {
+		if n == 0 {
+			continue
+		}
+		started++
+		total += n
+		if n > maxNanos {
+			maxNanos, maxIdx = n, i
+		}
+	}
+	return started, total, maxNanos, maxIdx
+}
+
+// WriteText renders the metrics as a compact human-readable block with
+// deterministic line ordering.
+func (m *Metrics) WriteText(w io.Writer) {
+	if m == nil {
+		fmt.Fprintln(w, "metrics: none collected")
+		return
+	}
+	fmt.Fprintf(w, "batch: %d items on %d workers, wall %v\n",
+		len(m.ItemNanos), m.Workers, time.Duration(m.WallNanos))
+	fmt.Fprintf(w, "attempts %d, retries %d, panics recovered %d\n",
+		m.Attempts, m.Retries, m.Panics)
+	if len(m.Errors) > 0 {
+		classes := make([]string, 0, len(m.Errors))
+		for c := range m.Errors {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		fmt.Fprint(w, "errors:")
+		for _, c := range classes {
+			fmt.Fprintf(w, " %s=%d", c, m.Errors[c])
+		}
+		fmt.Fprintln(w)
+	}
+	if started, total, maxNanos, maxIdx := m.itemStats(); started > 0 {
+		fmt.Fprintf(w, "item wall clock: total %v, mean %v, max %v (item %d)\n",
+			time.Duration(total), time.Duration(total/int64(started)),
+			time.Duration(maxNanos), maxIdx)
+	}
+	if len(m.Checks) > 0 {
+		keys := make([]string, 0, len(m.Checks))
+		for k := range m.Checks {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintln(w, "model checks:")
+		for _, k := range keys {
+			c := m.Checks[k]
+			fmt.Fprintf(w, "  %s: findings=%d elided=%d\n", k, c.Findings, c.Elided)
+		}
+	}
+}
+
+// WriteJSON renders the metrics as one indented JSON document.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}

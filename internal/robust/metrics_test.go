@@ -1,0 +1,148 @@
+package robust
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestRunBatchCollectsMetrics(t *testing.T) {
+	transient := errors.New("transient")
+	pr, err := RunBatch(context.Background(), []int{0, 1, 2, 3}, func(_ context.Context, v int) (int, error) {
+		switch v {
+		case 1:
+			return 0, fmt.Errorf("v=1: %w", ErrIllConditioned)
+		case 2:
+			panic("boom")
+		case 3:
+			return 0, fmt.Errorf("v=3: %w", transient)
+		}
+		return v, nil
+	}, BatchOptions{Retries: 2, Retryable: func(err error) bool { return errors.Is(err, transient) }, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := pr.Report.Metrics
+	if m == nil {
+		t.Fatal("RunBatch left Report.Metrics nil")
+	}
+	// Item 3 is retried twice after its first attempt: 1+1+1+3 attempts.
+	if m.Attempts != 6 || m.Retries != 2 || m.Panics != 1 {
+		t.Errorf("attempts/retries/panics = %d/%d/%d, want 6/2/1", m.Attempts, m.Retries, m.Panics)
+	}
+	if m.Errors["ill-conditioned"] != 1 || m.Errors["panic"] != 1 || m.Errors["other"] != 1 {
+		t.Errorf("error classes = %v", m.Errors)
+	}
+	if len(m.ItemNanos) != 4 {
+		t.Fatalf("ItemNanos sized %d, want 4", len(m.ItemNanos))
+	}
+	for i, n := range m.ItemNanos {
+		if n <= 0 {
+			t.Errorf("item %d wall clock = %d, want > 0", i, n)
+		}
+	}
+	if m.WallNanos <= 0 || m.Workers != 1 {
+		t.Errorf("wall=%d workers=%d", m.WallNanos, m.Workers)
+	}
+}
+
+func TestErrorClass(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, ""},
+		{fmt.Errorf("x: %w", ErrNotConverged), "not-converged"},
+		{fmt.Errorf("x: %w", ErrIllConditioned), "ill-conditioned"},
+		{fmt.Errorf("x: %w", ErrNonFinite), "non-finite"},
+		{fmt.Errorf("x: %w", ErrInvariant), "invariant"},
+		{fmt.Errorf("x: %w", ErrPanic), "panic"},
+		{fmt.Errorf("x: %w", ErrTooManyFailures), "too-many-failures"},
+		// A cancellation that interrupted a transient failure counts as
+		// canceled, not as the underlying class.
+		{fmt.Errorf("%w: deadline (interrupted retry of: %w)", ErrCanceled, ErrNotConverged), "canceled"},
+		{errors.New("unclassified"), "other"},
+	}
+	for _, c := range cases {
+		if got := ErrorClass(c.err); got != c.want {
+			t.Errorf("ErrorClass(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+func TestMetricsAddChecksAndMerge(t *testing.T) {
+	m := NewMetrics(2, 1)
+	m.Attempts, m.Retries = 3, 1
+	m.Errors["other"] = 1
+	m.AddChecks("RMGd", map[string]CheckCounters{
+		"reward-bounds": {Findings: 7, Elided: 2},
+	})
+	m.AddChecks("RMGd", map[string]CheckCounters{
+		"reward-bounds": {Findings: 1},
+		"reachability":  {Findings: 1},
+	})
+	if c := m.Checks["RMGd/reward-bounds"]; c.Findings != 8 || c.Elided != 2 {
+		t.Errorf("accumulated counters = %+v", c)
+	}
+
+	other := NewMetrics(1, 1)
+	other.Attempts, other.Panics = 2, 1
+	other.Errors["panic"] = 1
+	other.AddChecks("RMGp", map[string]CheckCounters{"ergodic": {Findings: 1}})
+	m.Merge(other)
+	if m.Attempts != 5 || m.Panics != 1 || m.Errors["panic"] != 1 {
+		t.Errorf("merged counters: attempts=%d panics=%d errors=%v", m.Attempts, m.Panics, m.Errors)
+	}
+	if len(m.ItemNanos) != 3 {
+		t.Errorf("merged ItemNanos sized %d, want 3", len(m.ItemNanos))
+	}
+	if _, ok := m.Checks["RMGp/ergodic"]; !ok {
+		t.Errorf("merged checks = %v", m.Checks)
+	}
+}
+
+func TestMetricsWriteTextAndJSON(t *testing.T) {
+	m := NewMetrics(3, 2)
+	m.Attempts, m.Retries, m.Panics = 5, 2, 1
+	m.Errors["canceled"] = 1
+	m.ItemNanos = []int64{100, 0, 300}
+	m.WallNanos = 450
+	m.AddChecks("RMGd", map[string]CheckCounters{"reward-bounds": {Findings: 2, Elided: 1}})
+
+	var sb strings.Builder
+	m.WriteText(&sb)
+	text := sb.String()
+	for _, want := range []string{
+		"3 items on 2 workers",
+		"attempts 5, retries 2, panics recovered 1",
+		"canceled=1",
+		"max 300ns (item 2)",
+		"RMGd/reward-bounds: findings=2 elided=1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text dump missing %q:\n%s", want, text)
+		}
+	}
+
+	sb.Reset()
+	if err := m.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var back Metrics
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatalf("JSON dump not parseable: %v\n%s", err, sb.String())
+	}
+	if back.Attempts != 5 || back.Errors["canceled"] != 1 || back.Checks["RMGd/reward-bounds"].Findings != 2 {
+		t.Errorf("JSON round-trip lost counters: %+v", back)
+	}
+
+	var nilM *Metrics
+	sb.Reset()
+	nilM.WriteText(&sb) // must not panic
+	if !strings.Contains(sb.String(), "none") {
+		t.Errorf("nil metrics text = %q", sb.String())
+	}
+}

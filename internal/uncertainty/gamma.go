@@ -48,14 +48,28 @@ func (g Gamma) Mean() float64 { return g.Shape / g.Rate }
 // Variance returns k/λ².
 func (g Gamma) Variance() float64 { return g.Shape / (g.Rate * g.Rate) }
 
+// nonzeroUniform draws from next until it returns a value in (0, 1).
+// rand.Float64 can return exactly 0, which the squeeze method must never
+// see: Pow(0, 1/k) makes the shape<1 boost collapse the draw to a zero
+// rate (poisoning every downstream analyzer with a degenerate µ), and
+// Log(0) = -Inf silently accepts the acceptance test.
+func nonzeroUniform(next func() float64) float64 {
+	for {
+		if u := next(); u > 0 {
+			return u
+		}
+	}
+}
+
 // Sample draws one variate by the Marsaglia–Tsang squeeze method (with the
-// standard boost for shape < 1).
+// standard boost for shape < 1). Every uniform it consumes is drawn
+// through nonzeroUniform, so the returned variate is strictly positive.
 func (g Gamma) Sample(rng *rand.Rand) float64 {
 	shape := g.Shape
 	boost := 1.0
 	if shape < 1 {
 		// X_k = X_{k+1} · U^{1/k}.
-		boost = math.Pow(rng.Float64(), 1/shape)
+		boost = math.Pow(nonzeroUniform(rng.Float64), 1/shape)
 		shape++
 	}
 	d := shape - 1.0/3.0
@@ -67,7 +81,7 @@ func (g Gamma) Sample(rng *rand.Rand) float64 {
 			continue
 		}
 		v = v * v * v
-		u := rng.Float64()
+		u := nonzeroUniform(rng.Float64)
 		if u < 1-0.0331*x*x*x*x {
 			return boost * d * v / g.Rate
 		}

@@ -15,17 +15,26 @@ import (
 type PropagateOptions struct {
 	// Samples is the number of posterior draws (default 200).
 	Samples int
-	// Seed seeds the deterministic draw stream (default 1).
+	// Seed seeds the deterministic draw stream. The zero value selects
+	// the default seed 1 — a literal seed of 0 is not expressible; pick
+	// any other seed for an independent stream.
 	Seed int64
 	// GridPoints is the φ-grid resolution used both for the per-sample
 	// optimum and the robust choice (default 20 intervals over [0, θ]).
 	GridPoints int
 	// MinSurvivalFraction is the fraction of posterior draws that must
-	// evaluate successfully for the propagation to stand (default 0.5:
-	// fail only when fewer than half the samples survive). Draws that hit
-	// a degenerate parameter region are skipped and recorded in the
-	// report, not fatal.
+	// evaluate successfully for the propagation to stand. Zero applies
+	// the default 0.5 (fail only when fewer than half the samples
+	// survive); any negative value disables the floor entirely, so a
+	// propagation stands on any nonzero number of surviving draws. Draws
+	// that hit a degenerate parameter region are skipped and recorded in
+	// the report, not fatal.
 	MinSurvivalFraction float64
+	// Workers bounds how many posterior draws are evaluated concurrently:
+	// 0 (the default) uses every core (runtime.GOMAXPROCS), 1 evaluates
+	// sequentially. The µ stream is pre-drawn, so the result is identical
+	// for every worker count.
+	Workers int
 }
 
 func (o PropagateOptions) withDefaults() PropagateOptions {
@@ -44,15 +53,47 @@ func (o PropagateOptions) withDefaults() PropagateOptions {
 	return o
 }
 
+// batchSurvivalFloor maps the option's "negative disables" convention to
+// RunBatch's "zero disables" one.
+func batchSurvivalFloor(f float64) float64 {
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// DrawResult is one surviving posterior draw's paired per-draw record:
+// the µ_new draw together with the optimal duration and maximal index it
+// induces. Unlike the sorted marginals below, the tuple stays intact.
+type DrawResult struct {
+	// Index is the draw's position in the pre-drawn µ stream, so skipped
+	// draws leave visible gaps and two runs can be joined draw-by-draw.
+	Index int
+	// Mu is the posterior draw of µ_new.
+	Mu float64
+	// PhiStar is the duration maximising Y(φ) under this draw.
+	PhiStar float64
+	// MaxY is the index achieved at PhiStar.
+	MaxY float64
+}
+
 // Propagation holds the posterior-propagated decision quantities.
 type Propagation struct {
+	// Draws are the surviving posterior draws in original draw order,
+	// each pairing (µ, φ*, Y*); the metrics dump and any per-draw
+	// post-processing should read these.
+	Draws []DrawResult
 	// MuSamples are the posterior draws of µ_new that evaluated
-	// successfully (sorted).
+	// successfully, sorted ascending — the marginal distribution of the
+	// rate, for quantile summaries.
 	MuSamples []float64
-	// PhiStars are the per-draw optimal durations, aligned with MuSamples'
-	// original draw order and then sorted.
+	// PhiStars are the per-draw optimal durations, sorted ascending — the
+	// marginal distribution of φ*. Sorting each slice independently
+	// destroys the (µ, φ*, Y*) pairing; use Draws to recover per-draw
+	// tuples.
 	PhiStars []float64
-	// MaxYs are the per-draw maximal indices (sorted).
+	// MaxYs are the per-draw maximal indices, sorted ascending (the
+	// marginal of Y*; see PhiStars about pairing).
 	MaxYs []float64
 	// RobustPhi maximises the posterior-expected index E_µ[Y(φ)] over the
 	// grid, and RobustEY is that expected index.
@@ -92,9 +133,13 @@ type sampleEval struct {
 // fault-tolerant sampling: a posterior draw whose model evaluation fails
 // (degenerate rate, invariant violation, non-finite solve) is skipped and
 // recorded in the result's Report instead of aborting the run. The call
-// errors only when the context is canceled or fewer than
-// opts.MinSurvivalFraction of the draws survive (wrapping
-// robust.ErrTooManyFailures).
+// errors only when the context is canceled or too few draws survive —
+// fewer than opts.MinSurvivalFraction, or none at all with the floor
+// disabled (both wrapping robust.ErrTooManyFailures).
+//
+// Draws are evaluated on a bounded worker pool (opts.Workers). The µ
+// stream is drawn up front from opts.Seed, so every worker count — and
+// any pattern of skipped draws — yields the same numbers.
 func PropagateContext(ctx context.Context, p mdcd.Params, posterior Gamma, opts PropagateOptions) (*Propagation, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -137,12 +182,21 @@ func PropagateContext(ctx context.Context, p mdcd.Params, posterior Gamma, opts 
 		}
 		ev.bestPhi, ev.bestY = best.Phi, best.Y
 		return ev, nil
-	}, robust.BatchOptions{MinSuccessFraction: opts.MinSurvivalFraction})
+	}, robust.BatchOptions{
+		MinSuccessFraction: batchSurvivalFloor(opts.MinSurvivalFraction),
+		Workers:            opts.Workers,
+	})
 	if err != nil {
 		if pr != nil && pr.Report.Failed() > 0 {
 			return nil, fmt.Errorf("uncertainty: %w\n%s", err, pr.Report.Summary())
 		}
 		return nil, fmt.Errorf("uncertainty: %w", err)
+	}
+	if pr.Report.Succeeded() == 0 {
+		// Reachable only with the survival floor disabled: nothing to
+		// aggregate is still a failed propagation.
+		return nil, fmt.Errorf("uncertainty: no posterior draw survived: %w\n%s",
+			robust.ErrTooManyFailures, pr.Report.Summary())
 	}
 
 	out := &Propagation{
@@ -151,10 +205,15 @@ func PropagateContext(ctx context.Context, p mdcd.Params, posterior Gamma, opts 
 		Report:           pr.Report,
 	}
 	sumY := make([]float64, len(grid))
-	for _, ev := range pr.Successes() {
-		for i, y := range ev.ys {
-			sumY[i] += y
+	for i, ok := range pr.OK {
+		if !ok {
+			continue
 		}
+		ev := pr.Results[i]
+		for j, y := range ev.ys {
+			sumY[j] += y
+		}
+		out.Draws = append(out.Draws, DrawResult{Index: i, Mu: ev.mu, PhiStar: ev.bestPhi, MaxY: ev.bestY})
 		out.MuSamples = append(out.MuSamples, ev.mu)
 		out.PhiStars = append(out.PhiStars, ev.bestPhi)
 		out.MaxYs = append(out.MaxYs, ev.bestY)

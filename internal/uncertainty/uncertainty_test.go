@@ -48,6 +48,42 @@ func TestGammaSampleMoments(t *testing.T) {
 	}
 }
 
+// TestNonzeroUniform drives the zero-uniform guard directly: a stream
+// that opens with exact zeros (which rand.Float64 can produce) must be
+// skipped until a positive value arrives.
+func TestNonzeroUniform(t *testing.T) {
+	stream := []float64{0, 0, 0, 0.25}
+	i := 0
+	next := func() float64 {
+		v := stream[i]
+		i++
+		return v
+	}
+	if got := nonzeroUniform(next); got != 0.25 {
+		t.Errorf("nonzeroUniform = %v, want 0.25 (after skipping the zeros)", got)
+	}
+	if i != 4 {
+		t.Errorf("consumed %d stream values, want 4", i)
+	}
+}
+
+// TestGammaSampleShapeBelowOneNeverZero is the regression for the
+// shape<1 boost path: boost = U^{1/k} with U drawn raw from rand.Float64
+// could collapse to zero, handing the downstream analyzer a zero rate.
+// Every draw through the boost path must stay strictly positive.
+func TestGammaSampleShapeBelowOneNeverZero(t *testing.T) {
+	g := Gamma{Shape: 0.1, Rate: 2} // tiny shape makes U^{1/k} crush small uniforms
+	for seed := int64(1); seed <= 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 2000; i++ {
+			x := g.Sample(rng)
+			if !(x > 0) || math.IsInf(x, 0) || math.IsNaN(x) {
+				t.Fatalf("seed %d draw %d: degenerate sample %v from shape<1 boost", seed, i, x)
+			}
+		}
+	}
+}
+
 func TestPosteriorRateConjugacy(t *testing.T) {
 	prior := Gamma{Shape: 1, Rate: 1000}
 	post, err := PosteriorRate(prior, 2, 5000)
