@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race race-parallel lint fmt-check selfcheck modelcheck bench repro coverage clean
+.PHONY: all build vet test test-short race race-parallel lint fmt-check selfcheck modelcheck bench bench-curve repro coverage clean
 
 all: build lint test
 
@@ -53,6 +53,13 @@ modelcheck:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Curve-engine vs per-point solver-budget comparison (docs/PERFORMANCE.md).
+# -benchtime=1x keeps it a smoke test: one sweep each, with the
+# solves/sweep metric surfaced through robust.Metrics / ctmc.SolveOps.
+# The >=3x budget itself is asserted by TestCurveEngineSolveBudget.
+bench-curve:
+	$(GO) test ./internal/core -run '^$$' -bench 'BenchmarkCurve' -benchtime=1x -benchmem
 
 # Regenerate every table/figure report to stdout.
 repro:

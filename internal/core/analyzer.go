@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"guardedop/internal/ctmc"
 	"guardedop/internal/mdcd"
 	"guardedop/internal/modelcheck"
 	"guardedop/internal/robust"
@@ -15,16 +16,33 @@ import (
 // It builds the three SAN reward models once and reuses them across φ
 // values; the steady-state overhead measures ρ₁, ρ₂ are φ-independent and
 // solved at construction time.
+//
+// Grid evaluation (Curve and friends) runs on the shared-propagation curve
+// engine (engine.go); single-point evaluation memoizes its full-horizon
+// solves in bounded per-analyzer caches so OptimizePhi's refinement stage
+// and repeated Evaluate calls at overlapping φ hit cache.
 type Analyzer struct {
 	params mdcd.Params
 
-	gd    *mdcd.RMGd
-	gp    mdcd.GpMeasures
-	ndNew *mdcd.RMNd // normal mode with the upgraded pair {P1new, P2}
-	ndOld *mdcd.RMNd // normal mode with the recovered pair {P1old, P2}
+	gd     *mdcd.RMGd
+	gp     mdcd.GpMeasures
+	ndNew  *mdcd.RMNd     // normal mode with the upgraded pair {P1new, P2}
+	ndOld  *mdcd.RMNd     // normal mode with the recovered pair {P1old, P2}
+	ndPair *mdcd.RMNdPair // both RMNd instantiations stacked into one chain
+
+	// Bounded memo caches keyed by the solve horizon (see ctmc.SolveCache).
+	gdSolves    *ctmc.SolveCache // RMGd π(φ) and L(φ), one combined pass
+	ndNewSolves *ctmc.SolveCache // RMNd(µ_new) π(θ−φ)
+	ndOldSolves *ctmc.SolveCache // RMNd(µ_old) π(θ−φ)
 
 	pNoFailNewTheta float64 // P(X″_θ ∈ A″₁), cached: it is φ-independent
 }
+
+// solveCacheCapacity bounds each per-analyzer memo cache. An optimization
+// run touches a coarse grid plus a few dozen golden-section refinement
+// points, so this retains every horizon such a workload revisits while
+// keeping the worst case at a few hundred state-space-sized vectors.
+const solveCacheCapacity = 256
 
 // Options relaxes model assumptions for ablation studies; the zero value
 // reproduces the paper.
@@ -78,6 +96,22 @@ func NewAnalyzerWithOptions(p mdcd.Params, o Options) (*Analyzer, error) {
 	if err := verifySpace("RMNd(mu_old)", ndOld.Space); err != nil {
 		return nil, err
 	}
+	ndPair, err := mdcd.NewRMNdPair(ndNew, ndOld)
+	if err != nil {
+		return nil, fmt.Errorf("core: stacking RMNd pair: %w", err)
+	}
+	gdSolves, err := ctmc.NewSolveCache(gd.Space.Chain, gd.Space.Initial, solveCacheCapacity, true)
+	if err != nil {
+		return nil, fmt.Errorf("core: RMGd solve cache: %w", err)
+	}
+	ndNewSolves, err := ctmc.NewSolveCache(ndNew.Space.Chain, ndNew.Space.Initial, solveCacheCapacity, false)
+	if err != nil {
+		return nil, fmt.Errorf("core: RMNd(mu_new) solve cache: %w", err)
+	}
+	ndOldSolves, err := ctmc.NewSolveCache(ndOld.Space.Chain, ndOld.Space.Initial, solveCacheCapacity, false)
+	if err != nil {
+		return nil, fmt.Errorf("core: RMNd(mu_old) solve cache: %w", err)
+	}
 	pTheta, err := ndNew.NoFailureProbability(p.Theta)
 	if err != nil {
 		return nil, fmt.Errorf("core: solving P(X''_theta in A''_1): %w", err)
@@ -88,6 +122,10 @@ func NewAnalyzerWithOptions(p mdcd.Params, o Options) (*Analyzer, error) {
 		gp:              gpm,
 		ndNew:           ndNew,
 		ndOld:           ndOld,
+		ndPair:          ndPair,
+		gdSolves:        gdSolves,
+		ndNewSolves:     ndNewSolves,
+		ndOldSolves:     ndOldSolves,
 		pNoFailNewTheta: pTheta,
 	}, nil
 }
@@ -144,12 +182,71 @@ func (a *Analyzer) Evaluate(phi float64) (Result, error) {
 }
 
 // EvaluateWithPolicy computes Y(φ) under an explicit γ policy (used by the
-// ablation experiments; Evaluate uses the paper's policy).
+// ablation experiments; Evaluate uses the paper's policy). The full-horizon
+// solves go through the analyzer's bounded memo caches, so re-evaluating a
+// previously visited φ costs only dot products.
 func (a *Analyzer) EvaluateWithPolicy(phi float64, policy GammaPolicy) (Result, error) {
 	p := a.params
 	if math.IsNaN(phi) || phi < 0 || phi > p.Theta {
 		return Result{}, fmt.Errorf("core: phi = %g out of [0, theta=%g]", phi, p.Theta)
 	}
+	pi, acc, err := a.gdSolves.TransientAccumulated(phi)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: RMGd measures at phi=%g: %w", phi, err)
+	}
+	gdm, err := a.gd.MeasuresFromSolution(phi, pi, acc)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: RMGd measures at phi=%g: %w", phi, err)
+	}
+	rem := p.Theta - phi
+	piNew, err := a.ndNewSolves.Transient(rem)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: P(X''_(theta-phi)): %w", err)
+	}
+	pNoFailNewRem, err := a.ndNew.NoFailureFromSolution(piNew)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: P(X''_(theta-phi)): %w", err)
+	}
+	piOld, err := a.ndOldSolves.Transient(rem)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: recovered-pair survival: %w", err)
+	}
+	pNoFailOldRem, err := a.ndOld.NoFailureFromSolution(piOld)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: recovered-pair survival: %w", err)
+	}
+	return a.assemble(phi, policy, gdm, pNoFailNewRem, pNoFailOldRem)
+}
+
+// evaluatePointwise is the uncached per-point reference path: one full
+// transient or accumulated solve per constituent measure, exactly as the
+// analyzer evaluated a point before the curve engine existed. It anchors
+// the BenchmarkCurve* comparison and the engine equivalence tests.
+func (a *Analyzer) evaluatePointwise(phi float64, policy GammaPolicy) (Result, error) {
+	p := a.params
+	if math.IsNaN(phi) || phi < 0 || phi > p.Theta {
+		return Result{}, fmt.Errorf("core: phi = %g out of [0, theta=%g]", phi, p.Theta)
+	}
+	gdm, err := a.gd.Measures(phi)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: RMGd measures at phi=%g: %w", phi, err)
+	}
+	pNoFailNewRem, err := a.ndNew.NoFailureProbability(p.Theta - phi)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: P(X''_(theta-phi)): %w", err)
+	}
+	pNoFailOldRem, err := a.ndOld.NoFailureProbability(p.Theta - phi)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: recovered-pair survival: %w", err)
+	}
+	return a.assemble(phi, policy, gdm, pNoFailNewRem, pNoFailOldRem)
+}
+
+// assemble folds solved constituent measures into the performability index:
+// the Eq. 5–21 translation layer, shared by the cached point-wise path and
+// the curve engine.
+func (a *Analyzer) assemble(phi float64, policy GammaPolicy, gdm mdcd.GdMeasures, pNoFailNewRem, pNoFailOldRem float64) (Result, error) {
+	p := a.params
 	res := Result{
 		Phi:             phi,
 		EWI:             2 * p.Theta,
@@ -158,21 +255,8 @@ func (a *Analyzer) EvaluateWithPolicy(phi float64, policy GammaPolicy) (Result, 
 		PNoFailNewTheta: a.pNoFailNewTheta,
 	}
 	res.EW0 = 2 * p.Theta * a.pNoFailNewTheta
-
-	gdm, err := a.gd.Measures(phi)
-	if err != nil {
-		return Result{}, fmt.Errorf("core: RMGd measures at phi=%g: %w", phi, err)
-	}
 	res.Gd = gdm
-
-	res.PNoFailNewRem, err = a.ndNew.NoFailureProbability(p.Theta - phi)
-	if err != nil {
-		return Result{}, fmt.Errorf("core: P(X''_(theta-phi)): %w", err)
-	}
-	pNoFailOldRem, err := a.ndOld.NoFailureProbability(p.Theta - phi)
-	if err != nil {
-		return Result{}, fmt.Errorf("core: recovered-pair survival: %w", err)
-	}
+	res.PNoFailNewRem = pNoFailNewRem
 	res.IntF = 1 - pNoFailOldRem
 
 	// Eq. 14: P(S1).
@@ -187,10 +271,11 @@ func (a *Analyzer) EvaluateWithPolicy(phi float64, policy GammaPolicy) (Result, 
 	// Eq. 8: Y^{S1}.
 	res.YS1 = (rhoSum*phi + 2*(p.Theta-phi)) * res.PS1
 
-	res.Gamma, err = gammaFor(policy, gdm, p.Theta)
+	gamma, err := gammaFor(policy, gdm, p.Theta)
 	if err != nil {
 		return Result{}, err
 	}
+	res.Gamma = gamma
 
 	// Eqs. 15/16/21: Y^{S2} = γ(minuend − subtrahend).
 	minuend := 2*p.Theta*gdm.IntH - (2-rhoSum)*gdm.IntTauH
@@ -301,11 +386,28 @@ func (a *Analyzer) CurvePartialWorkers(ctx context.Context, phis []float64, work
 }
 
 func (a *Analyzer) curveBatch(ctx context.Context, phis []float64, strict bool, workers int) (*robust.PartialResult[Result], error) {
+	return a.curveBatchPolicy(ctx, phis, GammaPaperTauBar, strict, workers)
+}
+
+// curveBatchPolicy runs the shared-propagation curve engine over a φ-grid:
+// one batched solve pass over contiguous segments of the sorted grid
+// (engine.go), then a per-point assembly batch. A point whose segment solve
+// failed falls back to the point-wise path so only genuinely degenerate
+// durations fail. The report's metrics record the CTMC solver passes the
+// sweep spent (Metrics.Solves).
+func (a *Analyzer) curveBatchPolicy(ctx context.Context, phis []float64, policy GammaPolicy, strict bool, workers int) (*robust.PartialResult[Result], error) {
+	before := ctmc.SolveOps()
+	pts := a.solveCurvePoints(ctx, phis, workers)
 	// The strict curve keeps its historical fail-fast contract, which
 	// RunBatch guarantees by running StopOnError batches sequentially.
-	return robust.RunBatch(ctx, phis, func(_ context.Context, phi float64) (Result, error) {
-		return a.Evaluate(phi)
+	pr, err := robust.RunBatch(ctx, pts, func(_ context.Context, pt solvedPoint) (Result, error) {
+		if pt.err != nil {
+			return a.EvaluateWithPolicy(pt.phi, policy)
+		}
+		return a.assemble(pt.phi, policy, pt.gdm, pt.pNewRem, pt.pOldRem)
 	}, robust.BatchOptions{StopOnError: strict, Workers: workers})
+	pr.Report.Metrics.AddSolves(int64(ctmc.SolveOps() - before))
+	return pr, err
 }
 
 // OptimalPhi evaluates the given candidate durations and returns the result

@@ -60,15 +60,16 @@ func (a *Analyzer) OptimizePhiContext(ctx context.Context, opts OptimizeOptions)
 		return Result{}, fmt.Errorf("core: invalid tolerance %g", opts.Tolerance)
 	}
 
+	// Refinement points go through the memo-cached point-wise path, so the
+	// overlapping φ the golden-section search revisits cost no new solves.
 	eval := func(phi float64) (Result, error) {
 		return a.EvaluateWithPolicy(phi, opts.Policy)
 	}
 
-	// Coarse bracket over the surviving grid points.
+	// Coarse bracket over the surviving grid points, solved by the
+	// shared-propagation curve engine.
 	grid := SweepGrid(theta, opts.GridPoints)
-	pr, err := robust.RunBatch(ctx, grid, func(_ context.Context, phi float64) (Result, error) {
-		return eval(phi)
-	}, robust.BatchOptions{Workers: opts.Workers})
+	pr, err := a.curveBatchPolicy(ctx, grid, opts.Policy, false, opts.Workers)
 	if err != nil {
 		return Result{}, err
 	}

@@ -3,6 +3,7 @@ package ctmc
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // AbsorptionTimeCDF returns P(absorbed by t) for each horizon in ts: the
@@ -46,12 +47,18 @@ func (c *Chain) AbsorptionTimeQuantile(pi0 []float64, q, relTol float64) (float6
 	if relTol <= 0 {
 		relTol = 1e-6
 	}
+	// The true absorption-time CDF is non-decreasing, but each probe is an
+	// independent transient solve carrying its own round-off, so on a
+	// near-flat plateau a later probe can come back infinitesimally below an
+	// earlier one at a smaller t. Bisection assumes monotonicity; feed it
+	// values clamped against the probe history instead of raw solves.
+	probes := newMonotoneProbes()
 	cdfAt := func(t float64) (float64, error) {
 		v, err := c.AbsorptionTimeCDF(pi0, []float64{t})
 		if err != nil {
 			return 0, err
 		}
-		return v[0], nil
+		return probes.clamp(t, v[0]), nil
 	}
 	// Bracket: grow the horizon until the CDF clears q (or provably cannot).
 	lo, hi := 0.0, 1/math.Max(c.MaxExitRate(), 1e-12)
@@ -82,4 +89,40 @@ func (c *Chain) AbsorptionTimeQuantile(pi0 []float64, q, relTol float64) (float6
 		}
 	}
 	return 0.5 * (lo + hi), nil
+}
+
+// monotoneProbes records (t, value) probes of a function known to be
+// non-decreasing and clamps each new observation to be consistent with the
+// history: at least the largest value seen at any earlier time, at most the
+// smallest value seen at any later time.
+type monotoneProbes struct {
+	ts []float64 // sorted ascending
+	vs []float64 // vs[i] is the clamped value at ts[i]
+}
+
+func newMonotoneProbes() *monotoneProbes {
+	return &monotoneProbes{}
+}
+
+// clamp records the probe and returns its history-consistent value.
+func (m *monotoneProbes) clamp(t, v float64) float64 {
+	// i is the insertion point: probes before i have smaller or equal t.
+	i := sort.SearchFloat64s(m.ts, t)
+	//lint:ignore floateq exact equality detects re-probes of the identical abscissa; nearby-but-distinct t must stay distinct probes
+	for i < len(m.ts) && m.ts[i] == t {
+		i++
+	}
+	if i > 0 && v < m.vs[i-1] {
+		v = m.vs[i-1]
+	}
+	if i < len(m.ts) && v > m.vs[i] {
+		v = m.vs[i]
+	}
+	m.ts = append(m.ts, 0)
+	m.vs = append(m.vs, 0)
+	copy(m.ts[i+1:], m.ts[i:])
+	copy(m.vs[i+1:], m.vs[i:])
+	m.ts[i] = t
+	m.vs[i] = v
+	return v
 }

@@ -1,0 +1,25 @@
+package ctmc
+
+import "sync/atomic"
+
+// solveOps counts transient/accumulated solver passes process-wide: one
+// increment per uniformization vector iteration or dense matrix-exponential
+// evaluation, whether it produces π(t), L(t), or both at once. The counter
+// is the observable behind the curve-engine performance contract — a shared
+// incremental pass over a φ-grid must register far fewer passes than
+// point-wise evaluation — and is folded into robust.Metrics by the batch
+// layers (core.Analyzer curve runs) so CI can assert the fast path did not
+// silently regress to per-point solving.
+//
+// The counter is monotone and global; meaningful measurements are deltas
+// taken around a region of interest. Concurrent solver work elsewhere in
+// the process inflates a delta, so budget assertions belong in sequential
+// tests.
+var solveOps atomic.Uint64
+
+// SolveOps returns the process-wide count of transient/accumulated solver
+// passes completed so far. Subtract two readings to measure a region.
+func SolveOps() uint64 { return solveOps.Load() }
+
+// countSolveOp records one solver pass.
+func countSolveOp() { solveOps.Add(1) }

@@ -88,6 +88,7 @@ func (c *Chain) TransientExpm(pi0 []float64, t float64) ([]float64, error) {
 	if t == 0 {
 		return append([]float64(nil), pi0...), nil
 	}
+	countSolveOp()
 	qt := c.gen.ToDense().Scale(t)
 	e, err := Expm(qt)
 	if err != nil {
@@ -105,17 +106,27 @@ func (c *Chain) TransientExpm(pi0 []float64, t float64) ([]float64, error) {
 // AccumulatedExpm computes L(t) = ∫₀ᵗ π(u) du using the Van Loan augmented
 // generator: exp([[Q, I], [0, 0]] t) has ∫₀ᵗ e^{Qu}du as its (1,2) block.
 func (c *Chain) AccumulatedExpm(pi0 []float64, t float64) ([]float64, error) {
+	_, acc, err := c.transientAccumulatedExpm(pi0, t)
+	return acc, err
+}
+
+// transientAccumulatedExpm reads π(t) and L(t) off a single Van Loan
+// augmented exponential: the (1,1) block of exp([[Q, I], [0, 0]] t) is
+// e^{Qt} and the (1,2) block is ∫₀ᵗ e^{Qu}du, so one dense solver pass
+// serves both the instant-of-time and the accumulated view.
+func (c *Chain) transientAccumulatedExpm(pi0 []float64, t float64) (pi, acc []float64, err error) {
 	if err := c.checkDistribution(pi0); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
-		return nil, fmt.Errorf("%w: t=%g", errNegativeTime, t)
+		return nil, nil, fmt.Errorf("%w: t=%g", errNegativeTime, t)
 	}
 	n := c.n
-	out := make([]float64, n)
+	acc = make([]float64, n)
 	if t == 0 {
-		return out, nil
+		return append([]float64(nil), pi0...), acc, nil
 	}
+	countSolveOp()
 	aug := sparse.NewDense(2*n, 2*n)
 	for r := 0; r < n; r++ {
 		c.gen.Row(r, func(cc int, v float64) {
@@ -125,22 +136,28 @@ func (c *Chain) AccumulatedExpm(pi0 []float64, t float64) ([]float64, error) {
 	}
 	e, err := Expm(aug)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	pi = make([]float64, n)
 	for j := 0; j < n; j++ {
-		sum := 0.0
+		piSum, accSum := 0.0, 0.0
 		for i := 0; i < n; i++ {
-			sum += pi0[i] * e.At(i, n+j)
+			piSum += pi0[i] * e.At(i, j)
+			accSum += pi0[i] * e.At(i, n+j)
 		}
-		if sum < 0 {
-			sum = 0
+		if accSum < 0 {
+			accSum = 0
 		}
-		out[j] = sum
+		pi[j], acc[j] = piSum, accSum
 	}
-	if err := robust.CheckFiniteSlice("acc", out); err != nil {
-		return nil, fmt.Errorf("ctmc: AccumulatedExpm output: %w", err)
+	clampProbabilities(pi)
+	if err := robust.CheckFiniteSlice("pi", pi); err != nil {
+		return nil, nil, fmt.Errorf("ctmc: augmented expm output: %w", err)
 	}
-	return out, nil
+	if err := robust.CheckFiniteSlice("acc", acc); err != nil {
+		return nil, nil, fmt.Errorf("ctmc: augmented expm accumulated output: %w", err)
+	}
+	return pi, acc, nil
 }
 
 // clampProbabilities clips tiny negative round-off values to zero and

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"guardedop/internal/robust"
+	"guardedop/internal/sparse"
 )
 
 // TransientSeries computes π(t) for every time point in ts (which need not
@@ -13,11 +16,38 @@ import (
 // one transient solve per gap instead of one per horizon, which matters for
 // the long stiff horizons of the guarded-operation study.
 func (c *Chain) TransientSeries(pi0 []float64, ts []float64) ([][]float64, error) {
+	pis, _, err := c.seriesWalk(pi0, ts, false)
+	return pis, err
+}
+
+// AccumulatedSeries computes L(t) = ∫₀ᵗ π(u)du for every time point in ts
+// (unsorted input is aligned like TransientSeries), sharing one incremental
+// propagation across the whole series: L(t_k) = L(t_{k−1}) + ∫ over the gap,
+// with the gap integral solved from the propagated distribution.
+func (c *Chain) AccumulatedSeries(pi0 []float64, ts []float64) ([][]float64, error) {
+	_, accs, err := c.seriesWalk(pi0, ts, true)
+	return accs, err
+}
+
+// TransientAccumulatedSeries computes both π(t) and L(t) = ∫₀ᵗ π(u)du for
+// every time point in ts in a single shared incremental pass — the solver
+// core of the curve engine, where every instant-of-time and accumulated
+// reward of a φ-grid point is a dot product against these two vectors.
+func (c *Chain) TransientAccumulatedSeries(pi0 []float64, ts []float64) (pis, accs [][]float64, err error) {
+	return c.seriesWalk(pi0, ts, true)
+}
+
+// seriesWalk is the shared series engine: it visits the time points in
+// sorted order, advancing one distribution (and, when wantAcc is set, one
+// running accumulated-sojourn vector) across the gaps between consecutive
+// distinct times. Outputs are aligned with the input order; duplicate time
+// points receive identical copies.
+func (c *Chain) seriesWalk(pi0, ts []float64, wantAcc bool) (pis, accs [][]float64, err error) {
 	if err := c.checkDistribution(pi0); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if len(ts) == 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
 	order := make([]int, len(ts))
 	for i := range order {
@@ -25,43 +55,103 @@ func (c *Chain) TransientSeries(pi0 []float64, ts []float64) ([][]float64, error
 	}
 	sort.Slice(order, func(a, b int) bool { return ts[order[a]] < ts[order[b]] })
 
-	out := make([][]float64, len(ts))
+	pis = make([][]float64, len(ts))
+	if wantAcc {
+		accs = make([][]float64, len(ts))
+	}
 	cur := append([]float64(nil), pi0...)
+	var cum []float64
+	if wantAcc {
+		cum = make([]float64, c.n)
+	}
 	last := 0.0
+	steps := 0
 	for _, idx := range order {
 		t := ts[idx]
 		if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
-			return nil, fmt.Errorf("%w: t=%g", errNegativeTime, t)
+			return nil, nil, fmt.Errorf("%w: t=%g", errNegativeTime, t)
 		}
-		dt := t - last
-		if dt > 0 {
-			next, err := c.propagate(cur, dt)
+		if dt := t - last; dt > 0 {
+			renorm, err := renormalizeDrift(cur, steps)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			cur = next
+			if wantAcc {
+				next, gapAcc, err := c.transientAccumulated(renorm, dt)
+				if err != nil {
+					return nil, nil, err
+				}
+				cur = next
+				sparse.Axpy(cum, 1, gapAcc)
+			} else {
+				next, err := c.Transient(renorm, dt)
+				if err != nil {
+					return nil, nil, err
+				}
+				cur = next
+			}
+			steps++
 			last = t
 		}
-		out[idx] = append([]float64(nil), cur...)
+		pis[idx] = append([]float64(nil), cur...)
+		if wantAcc {
+			accs[idx] = append([]float64(nil), cum...)
+		}
 	}
-	return out, nil
+	return pis, accs, nil
 }
 
 // propagate advances a distribution by dt with automatic method selection.
 // Unlike Transient it accepts an already-propagated distribution whose sum
-// may have drifted by round-off, renormalizing defensively.
-func (c *Chain) propagate(pi []float64, dt float64) ([]float64, error) {
-	// Renormalize round-off drift so the distribution check passes.
+// may have drifted by round-off over the steps incremental steps taken so
+// far, renormalizing defensively within the step-scaled drift budget.
+func (c *Chain) propagate(pi []float64, dt float64, steps int) ([]float64, error) {
+	renorm, err := renormalizeDrift(pi, steps)
+	if err != nil {
+		return nil, err
+	}
+	return c.Transient(renorm, dt)
+}
+
+// Drift bounds for incrementally propagated distributions. Each solver pass
+// can misplace probability mass only at round-off scale, so the tolerated
+// deviation of the total mass from one grows linearly with the number of
+// steps taken: the floor keeps the historical single-step allowance, and
+// the per-step budget is orders of magnitude above what one uniformization
+// or Padé pass actually loses (≈1e-12) while staying far below any genuine
+// solver failure.
+const (
+	seriesDriftFloor   = 1e-6
+	seriesDriftPerStep = 1e-9
+)
+
+// renormalizeDrift rescales a propagated distribution back to total mass
+// one when the deviation is attributable to round-off growth over the
+// steps propagated so far. A deviation beyond the step-scaled budget — or a
+// non-finite or non-positive total — is a solver-integrity failure and is
+// returned as an error classifiable as robust.ErrNonFinite, instead of
+// silently handing the drifted vector to Transient to be rejected
+// mid-series with an unclassifiable message.
+func renormalizeDrift(pi []float64, steps int) ([]float64, error) {
 	total := 0.0
 	for _, v := range pi {
 		total += v
 	}
-	if total > 0 && math.Abs(total-1) < 1e-6 {
-		scaled := make([]float64, len(pi))
-		for i, v := range pi {
-			scaled[i] = v / total
-		}
-		pi = scaled
+	if math.IsNaN(total) || math.IsInf(total, 0) || total <= 0 {
+		return nil, fmt.Errorf("ctmc: propagated distribution mass is %g after %d steps: %w",
+			total, steps, robust.ErrNonFinite)
 	}
-	return c.Transient(pi, dt)
+	drift := math.Abs(total - 1)
+	if drift == 0 {
+		return pi, nil
+	}
+	if tol := seriesDriftFloor + float64(steps)*seriesDriftPerStep; drift > tol {
+		return nil, fmt.Errorf("ctmc: propagated distribution mass drifted to %g after %d steps (tolerance %g): %w",
+			total, steps, tol, robust.ErrNonFinite)
+	}
+	scaled := make([]float64, len(pi))
+	for i, v := range pi {
+		scaled[i] = v / total
+	}
+	return scaled, nil
 }

@@ -33,6 +33,19 @@ func (c *Chain) Accumulated(pi0 []float64, t float64) ([]float64, error) {
 	return c.AccumulatedExpm(pi0, t)
 }
 
+// transientAccumulated computes π(t) and L(t) = ∫₀ᵗ π(u)du together in a
+// single solver pass: the uniformization iteration produces both for one
+// sweep of matrix-vector products, and the dense path reads both off one
+// Van Loan augmented exponential. This halves the solver passes of callers
+// that need an instant-of-time and an accumulated view at the same horizon
+// (the curve engine's per-gap workload).
+func (c *Chain) transientAccumulated(pi0 []float64, t float64) (pi, acc []float64, err error) {
+	if c.q*t <= uniformizationBudget || c.n > denseTransientLimit {
+		return c.uniformize(pi0, t, UniformizationOptions{}, true)
+	}
+	return c.transientAccumulatedExpm(pi0, t)
+}
+
 // TransientReward returns Σ_s rates[s]·π_s(t): the expected instant-of-time
 // reward at t for the rate-reward vector rates.
 func (c *Chain) TransientReward(pi0 []float64, t float64, rates []float64) (float64, error) {

@@ -68,6 +68,7 @@ func (c *Chain) uniformize(pi0 []float64, t float64, opts UniformizationOptions,
 	if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
 		return nil, nil, fmt.Errorf("%w: t=%g", errNegativeTime, t)
 	}
+	countSolveOp()
 	opts = opts.withDefaults()
 
 	pi := append([]float64(nil), pi0...)

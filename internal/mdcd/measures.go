@@ -1,7 +1,10 @@
 package mdcd
 
 import (
+	"fmt"
+
 	"guardedop/internal/reward"
+	"guardedop/internal/robust"
 	"guardedop/internal/san"
 )
 
@@ -99,35 +102,99 @@ func (r *RMGd) Table1Structures() map[string]*reward.Structure {
 	}
 }
 
-// Measures solves all Table 1 constituent measures at G-OP duration phi.
+// Measures solves all Table 1 constituent measures at G-OP duration phi,
+// one full transient or accumulated solve per measure against the reward
+// vectors prebuilt at model construction. This is the point-wise reference
+// path; φ-grids should use MeasuresSeries, which shares a single
+// incremental propagation across the whole grid.
 func (r *RMGd) Measures(phi float64) (GdMeasures, error) {
 	var out GdMeasures
 	var err error
-	if out.IntH, err = reward.InstantOfTime(r.Space, r.structIntH(), phi); err != nil {
+	ch, init := r.Space.Chain, r.Space.Initial
+	if out.IntH, err = ch.TransientReward(init, phi, r.vIntH); err != nil {
 		return out, err
 	}
-	if out.IntTauH, err = reward.Accumulated(r.Space, r.structIntTauH(), phi); err != nil {
+	if out.IntTauH, err = ch.AccumulatedReward(init, phi, r.vIntTauH); err != nil {
 		return out, err
 	}
-	if out.IntHF, err = reward.InstantOfTime(r.Space, r.structIntHF(), phi); err != nil {
+	if out.IntHF, err = ch.TransientReward(init, phi, r.vIntHF); err != nil {
 		return out, err
 	}
-	if out.PA1, err = reward.InstantOfTime(r.Space, r.structPA1(), phi); err != nil {
+	if out.PA1, err = ch.TransientReward(init, phi, r.vPA1); err != nil {
 		return out, err
 	}
-	if out.PUndetectedFailure, err = reward.StateProbability(r.Space, func(mk san.Marking) bool {
-		return mk.Get(r.Detected) == 0 && mk.Get(r.Failure) == 1
-	}, phi); err != nil {
+	if out.PUndetectedFailure, err = ch.TransientReward(init, phi, r.vUndet); err != nil {
 		return out, err
 	}
-	detected := reward.NewStructure().Add("detected", func(mk san.Marking) bool {
-		return mk.Get(r.Detected) == 1
-	}, 1)
-	if out.AccDetected, err = reward.Accumulated(r.Space, detected, phi); err != nil {
+	if out.AccDetected, err = ch.AccumulatedReward(init, phi, r.vDetected); err != nil {
 		return out, err
 	}
 	out.phi = phi
 	return out, nil
+}
+
+// MeasuresFromSolution assembles the Table 1 measures at duration phi from
+// an already-solved state-probability vector π(φ) and accumulated-sojourn
+// vector L(φ) = ∫₀^φ π(u)du of this model's chain. Every measure is a dot
+// product against the prebuilt reward vectors — no solver work.
+func (r *RMGd) MeasuresFromSolution(phi float64, pi, acc []float64) (GdMeasures, error) {
+	out := GdMeasures{phi: phi}
+	var err error
+	if out.IntH, err = dotReward("int_h", r.vIntH, pi); err != nil {
+		return out, err
+	}
+	if out.IntTauH, err = dotReward("int_tau_h", r.vIntTauH, acc); err != nil {
+		return out, err
+	}
+	if out.IntHF, err = dotReward("int_int_h_f", r.vIntHF, pi); err != nil {
+		return out, err
+	}
+	if out.PA1, err = dotReward("P(A1)", r.vPA1, pi); err != nil {
+		return out, err
+	}
+	if out.PUndetectedFailure, err = dotReward("P(A4)", r.vUndet, pi); err != nil {
+		return out, err
+	}
+	if out.AccDetected, err = dotReward("acc_detected", r.vDetected, acc); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// MeasuresSeries solves the Table 1 measures for every duration in phis
+// (unsorted input is aligned with the output) with one shared incremental
+// propagation: a single combined transient+accumulated solver pass per gap
+// of the sorted grid serves all six measures of every point, instead of the
+// six independent full-horizon solves Measures spends per φ.
+func (r *RMGd) MeasuresSeries(phis []float64) ([]GdMeasures, error) {
+	pis, accs, err := r.Space.Chain.TransientAccumulatedSeries(r.Space.Initial, phis)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]GdMeasures, len(phis))
+	for i, phi := range phis {
+		if out[i], err = r.MeasuresFromSolution(phi, pis[i], accs[i]); err != nil {
+			return nil, fmt.Errorf("mdcd: measures at phi=%g: %w", phi, err)
+		}
+	}
+	return out, nil
+}
+
+// dotReward contracts a prebuilt reward-rate vector against a solved state
+// vector, guarding the result against non-finite contamination.
+func dotReward(name string, rates, vec []float64) (float64, error) {
+	if len(rates) != len(vec) {
+		return 0, fmt.Errorf("mdcd: reward vector %s has %d states, solution has %d",
+			name, len(rates), len(vec))
+	}
+	sum := 0.0
+	for i, rr := range rates {
+		sum += rr * vec[i]
+	}
+	if err := robust.CheckFinite(name, sum); err != nil {
+		return 0, fmt.Errorf("mdcd: %w", err)
+	}
+	return sum, nil
 }
 
 // GpMeasures are the steady-state overhead measures solved in RMGp (paper

@@ -3,6 +3,7 @@ package mdcd
 import (
 	"fmt"
 
+	"guardedop/internal/reward"
 	"guardedop/internal/san"
 	"guardedop/internal/statespace"
 )
@@ -19,6 +20,16 @@ type RMGd struct {
 	DirtyBit *san.Place // shared confidence view: {P2, P1old} potentially contaminated
 	Detected *san.Place // an error has been detected (system recovered to normal mode)
 	Failure  *san.Place // an undetected erroneous external message escaped (absorbing)
+
+	// Reward-rate vectors of the Table 1 structures, evaluated once over the
+	// generated space at build time: the predicates are pure functions of the
+	// marking, so re-evaluating them on every Measures call only burned time.
+	vIntH     []float64
+	vIntTauH  []float64
+	vIntHF    []float64
+	vPA1      []float64
+	vUndet    []float64
+	vDetected []float64
 }
 
 // GdOptions relaxes RMGd assumptions for ablation studies.
@@ -242,5 +253,21 @@ func BuildRMGdWithOptions(p Params, o GdOptions) (*RMGd, error) {
 		return nil, err
 	}
 	r.Space = sp
+	r.buildRateVectors()
 	return r, nil
+}
+
+// buildRateVectors evaluates every Table 1 reward structure over the
+// generated space once, so per-φ measure evaluation is pure dot products.
+func (r *RMGd) buildRateVectors() {
+	r.vIntH = r.structIntH().RateVector(r.Space)
+	r.vIntTauH = r.structIntTauH().RateVector(r.Space)
+	r.vIntHF = r.structIntHF().RateVector(r.Space)
+	r.vPA1 = r.structPA1().RateVector(r.Space)
+	r.vUndet = reward.NewStructure().Add("!detected && failure", func(mk san.Marking) bool {
+		return mk.Get(r.Detected) == 0 && mk.Get(r.Failure) == 1
+	}, 1).RateVector(r.Space)
+	r.vDetected = reward.NewStructure().Add("detected", func(mk san.Marking) bool {
+		return mk.Get(r.Detected) == 1
+	}, 1).RateVector(r.Space)
 }

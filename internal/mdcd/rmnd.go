@@ -19,6 +19,10 @@ type RMNd struct {
 	P1ctn   *san.Place
 	P2ctn   *san.Place
 	Failure *san.Place
+
+	// noFailRates is the MARK(failure)==0 indicator over the generated
+	// space, evaluated once at build time instead of on every call.
+	noFailRates []float64
 }
 
 // BuildRMNd constructs the normal-mode model with fault-manifestation rate
@@ -87,6 +91,12 @@ func BuildRMNd(p Params, mu1 float64) (*RMNd, error) {
 		return nil, err
 	}
 	r.Space = sp
+	r.noFailRates = make([]float64, sp.NumStates())
+	for i, mk := range sp.States {
+		if mk.Get(r.Failure) == 0 {
+			r.noFailRates[i] = 1
+		}
+	}
 	return r, nil
 }
 
@@ -94,11 +104,30 @@ func BuildRMNd(p Params, mu1 float64) (*RMNd, error) {
 // expected instant-of-time reward with predicate MARK(failure)==0 and rate 1
 // (paper §5.2.3).
 func (r *RMNd) NoFailureProbability(t float64) (float64, error) {
-	rates := make([]float64, r.Space.NumStates())
-	for i, mk := range r.Space.States {
-		if mk.Get(r.Failure) == 0 {
-			rates[i] = 1
+	return r.Space.Chain.TransientReward(r.Space.Initial, t, r.noFailRates)
+}
+
+// NoFailureFromSolution reads P(no failure) off an already-solved
+// state-probability vector of this model's chain: a dot product against
+// the indicator prebuilt at construction, no solver work.
+func (r *RMNd) NoFailureFromSolution(pi []float64) (float64, error) {
+	return dotReward("P(no failure)", r.noFailRates, pi)
+}
+
+// NoFailureProbabilitySeries returns P(no failure by t) for every horizon
+// in ts (unsorted input is aligned with the output), sharing one
+// incremental propagation across the grid: one solver pass per gap instead
+// of one full solve per horizon.
+func (r *RMNd) NoFailureProbabilitySeries(ts []float64) ([]float64, error) {
+	pis, err := r.Space.Chain.TransientSeries(r.Space.Initial, ts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(ts))
+	for i, pi := range pis {
+		if out[i], err = dotReward("P(no failure)", r.noFailRates, pi); err != nil {
+			return nil, fmt.Errorf("mdcd: no-failure probability at t=%g: %w", ts[i], err)
 		}
 	}
-	return r.Space.Chain.TransientReward(r.Space.Initial, t, rates)
+	return out, nil
 }

@@ -34,6 +34,12 @@ type Metrics struct {
 	WallNanos int64 `json:"wall_nanos"`
 	// Workers is the resolved worker-pool size of the run.
 	Workers int `json:"workers"`
+	// Solves counts the CTMC solver passes (uniformization sweeps and dense
+	// matrix exponentials) spent on the batch, folded in by callers via
+	// AddSolves. It is the budget the shared-propagation curve engine
+	// optimizes: a regression to per-point solving shows up here long
+	// before it shows up in wall clock.
+	Solves int64 `json:"solves,omitempty"`
 	// Checks carries model-verification counters keyed "model/check",
 	// e.g. "RMGd/reward-bounds".
 	Checks map[string]CheckCounters `json:"checks,omitempty"`
@@ -112,6 +118,15 @@ func (m *Metrics) AddChecks(model string, counters map[string]CheckCounters) {
 	}
 }
 
+// AddSolves folds a count of CTMC solver passes into the metrics,
+// accumulating across calls.
+func (m *Metrics) AddSolves(n int64) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.Solves += n
+}
+
 // Merge accumulates another run's counters into m. Per-item wall clocks
 // are appended, so merging reports of consecutive batches keeps every
 // item's timing.
@@ -123,6 +138,7 @@ func (m *Metrics) Merge(other *Metrics) {
 	m.Retries += other.Retries
 	m.Panics += other.Panics
 	m.WallNanos += other.WallNanos
+	m.Solves += other.Solves
 	for class, n := range other.Errors {
 		if m.Errors == nil {
 			m.Errors = make(map[string]int64)
@@ -168,6 +184,9 @@ func (m *Metrics) WriteText(w io.Writer) {
 		len(m.ItemNanos), m.Workers, time.Duration(m.WallNanos))
 	fmt.Fprintf(w, "attempts %d, retries %d, panics recovered %d\n",
 		m.Attempts, m.Retries, m.Panics)
+	if m.Solves > 0 {
+		fmt.Fprintf(w, "solver passes: %d\n", m.Solves)
+	}
 	if len(m.Errors) > 0 {
 		classes := make([]string, 0, len(m.Errors))
 		for c := range m.Errors {

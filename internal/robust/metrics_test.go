@@ -104,6 +104,37 @@ func TestMetricsAddChecksAndMerge(t *testing.T) {
 	}
 }
 
+func TestMetricsSolves(t *testing.T) {
+	m := NewMetrics(1, 1)
+	m.AddSolves(3)
+	m.AddSolves(0)  // no-op
+	m.AddSolves(-5) // guarded no-op
+	if m.Solves != 3 {
+		t.Errorf("Solves = %d, want 3", m.Solves)
+	}
+	var nilM *Metrics
+	nilM.AddSolves(1) // must not panic
+
+	other := NewMetrics(1, 1)
+	other.AddSolves(4)
+	m.Merge(other)
+	if m.Solves != 7 {
+		t.Errorf("merged Solves = %d, want 7", m.Solves)
+	}
+
+	var sb strings.Builder
+	m.WriteText(&sb)
+	if !strings.Contains(sb.String(), "solver passes: 7") {
+		t.Errorf("text dump missing solver passes:\n%s", sb.String())
+	}
+	// Zero solves stays out of the dump — most batches never solve.
+	sb.Reset()
+	NewMetrics(1, 1).WriteText(&sb)
+	if strings.Contains(sb.String(), "solver passes") {
+		t.Errorf("zero-solve dump mentions solver passes:\n%s", sb.String())
+	}
+}
+
 func TestMetricsWriteTextAndJSON(t *testing.T) {
 	m := NewMetrics(3, 2)
 	m.Attempts, m.Retries, m.Panics = 5, 2, 1
