@@ -24,12 +24,13 @@ race:
 	$(GO) test -race -short ./...
 
 # Race-enabled full suite for the packages that run on the worker pool
-# (batch runner, posterior propagation, experiment suite) — exercises the
-# parallel paths the short suite skips.
+# (batch runner, posterior propagation, experiment suite) plus the trace
+# collector they all report into — exercises the parallel paths the short
+# suite skips.
 # (-timeout raised: the Monte-Carlo suites exceed go test's default 10m
 # under the race detector on small machines.)
 race-parallel:
-	$(GO) test -race -timeout 45m ./internal/robust ./internal/uncertainty ./internal/experiments
+	$(GO) test -race -timeout 45m ./internal/robust ./internal/uncertainty ./internal/experiments ./internal/obs
 
 # Static analysis gate: the domain linter (exit 1 on findings), go vet,
 # and a gofmt cleanliness check. See docs/STATIC_ANALYSIS.md.

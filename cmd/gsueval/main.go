@@ -42,6 +42,8 @@ import (
 	"guardedop/internal/core"
 	"guardedop/internal/experiments"
 	"guardedop/internal/mdcd"
+	"guardedop/internal/obs"
+	"guardedop/internal/obs/pprofutil"
 	"guardedop/internal/robust"
 	"guardedop/internal/textplot"
 )
@@ -83,7 +85,7 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("gsueval", flag.ContinueOnError)
 	var (
 		list       = fs.Bool("list", false, "list available experiments")
@@ -99,7 +101,9 @@ func run(args []string) error {
 		timeout    = fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 		keepGoing  = fs.Bool("keep-going", false, "skip failed experiments or sweep points and report them at the end")
 		parallel   = fs.Int("parallel", 0, "worker-pool size for batch evaluation (0 = all cores, 1 = sequential); results are identical at every setting")
-		metricsVal = fs.String("metrics", "", "dump run metrics to stderr after -all, -sweep or -modelcheck: \"text\" or \"json\"")
+		metricsVal = fs.String("metrics", "", "dump run metrics to stderr after -all, -sweep or -modelcheck: \"text\", \"json\" or \"prom\"")
+		traceOut   = fs.String("trace", "", "write a JSON trace and run manifest to this file (spans, counters, cache stats; see docs/OBSERVABILITY.md)")
+		pprofSpec  = fs.String("pprof", "", "profiling: \"cpu[=file]\", \"mem[=file]\", or a host:port to serve net/http/pprof")
 
 		theta    = fs.Float64("theta", 10000, "time to next upgrade (hours)")
 		lambda   = fs.Float64("lambda", 1200, "message-sending rate (1/h)")
@@ -121,14 +125,46 @@ func run(args []string) error {
 		defer cancel()
 	}
 	switch *metricsVal {
-	case "", "text", "json":
+	case "", "text", "json", "prom":
 	default:
-		return fmt.Errorf("-metrics must be \"text\" or \"json\", got %q", *metricsVal)
+		return fmt.Errorf("-metrics must be \"text\", \"json\" or \"prom\", got %q", *metricsVal)
+	}
+	if *pprofSpec != "" {
+		stop, perr := pprofutil.StartPprof(*pprofSpec)
+		if perr != nil {
+			return perr
+		}
+		defer func() {
+			if cerr := stop(); cerr != nil && err == nil {
+				err = fmt.Errorf("pprof: %w", cerr)
+			}
+		}()
 	}
 
 	params := mdcd.Params{
 		Theta: *theta, Lambda: *lambda, MuNew: *muNew, MuOld: *muOld,
 		Coverage: *coverage, PExt: *pExt, Alpha: *alpha, Beta: *beta,
+	}
+
+	// The tracer collects the span tree and counters of whatever mode runs;
+	// the manifest is enriched by the mode (grid size, cache stats) and
+	// written alongside the spans when the run ends, on success or failure.
+	var tracer *obs.Tracer
+	man := &obs.Manifest{
+		Tool:    "gsueval",
+		Params:  paramsMap(params),
+		Workers: *parallel,
+	}
+	if *traceOut != "" || *metricsVal == "prom" {
+		tracer = obs.NewTracer()
+		ctx = obs.WithTracer(ctx, tracer)
+	}
+	if *traceOut != "" {
+		defer func() {
+			if werr := writeTraceFile(*traceOut, tracer, *man); werr != nil && err == nil {
+				err = werr
+			}
+		}()
 	}
 
 	switch {
@@ -141,7 +177,7 @@ func run(args []string) error {
 		return nil
 
 	case *modelcheck:
-		return modelCheck(params, os.Stdout, *metricsVal)
+		return modelCheck(params, os.Stdout, *metricsVal, tracer)
 
 	case *selfcheck:
 		return selfCheck(ctx, params, os.Stdout)
@@ -154,7 +190,7 @@ func run(args []string) error {
 			Workers:   *parallel,
 		})
 		if rep != nil && rep.Report != nil {
-			if merr := dumpMetrics(*metricsVal, rep.Report.Metrics); merr != nil && err == nil {
+			if merr := dumpMetrics(*metricsVal, rep.Report.Metrics, tracer); merr != nil && err == nil {
 				err = merr
 			}
 		}
@@ -192,6 +228,8 @@ func run(args []string) error {
 			keepGoing: *keepGoing,
 			workers:   *parallel,
 			metrics:   *metricsVal,
+			tracer:    tracer,
+			manifest:  man,
 		})
 
 	default:
@@ -203,21 +241,53 @@ func run(args []string) error {
 const divider = "================================================================"
 
 // dumpMetrics writes the collected run metrics to stderr in the requested
-// mode ("" = off, "text", "json"). Stderr keeps -csv and report output on
-// stdout machine-parseable.
-func dumpMetrics(mode string, m *robust.Metrics) error {
-	switch mode {
-	case "":
+// mode ("" = off, "text", "json", "prom"). A non-nil tracer is folded in
+// first (counters and stage aggregates), so every mode reports the traced
+// observability alongside the batch counters. Stderr keeps -csv and report
+// output on stdout machine-parseable.
+func dumpMetrics(mode string, m *robust.Metrics, tr *obs.Tracer) error {
+	if mode == "" {
 		return nil
+	}
+	if m == nil {
+		m = robust.NewMetrics(0, 0)
+	}
+	m.AddTrace(tr)
+	switch mode {
 	case "json":
-		if m == nil {
-			m = robust.NewMetrics(0, 0)
-		}
 		return m.WriteJSON(os.Stderr)
+	case "prom":
+		if err := m.WriteProm(os.Stderr); err != nil {
+			return err
+		}
+		// Histogram families live only on the tracer.
+		return obs.WritePromText(os.Stderr, nil, nil, tr.Histograms())
 	default:
 		m.WriteText(os.Stderr)
 		return nil
 	}
+}
+
+// paramsMap renders a parameter set as the manifest's flag-keyed map.
+func paramsMap(p mdcd.Params) map[string]float64 {
+	return map[string]float64{
+		"theta": p.Theta, "lambda": p.Lambda, "munew": p.MuNew, "muold": p.MuOld,
+		"coverage": p.Coverage, "pext": p.PExt, "alpha": p.Alpha, "beta": p.Beta,
+	}
+}
+
+// writeTraceFile writes the run's trace document (manifest + span tree +
+// histograms) to path as indented JSON.
+func writeTraceFile(path string, tr *obs.Tracer, man obs.Manifest) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	werr := obs.WriteTrace(f, tr, man)
+	if cerr := f.Close(); werr == nil && cerr != nil {
+		werr = fmt.Errorf("trace: %w", cerr)
+	}
+	return werr
 }
 
 // sweepConfig carries the sweep-mode flag values.
@@ -228,6 +298,8 @@ type sweepConfig struct {
 	keepGoing bool
 	workers   int
 	metrics   string
+	tracer    *obs.Tracer
+	manifest  *obs.Manifest
 }
 
 func sweep(ctx context.Context, p mdcd.Params, cfg sweepConfig) error {
@@ -236,9 +308,15 @@ func sweep(ctx context.Context, p mdcd.Params, cfg sweepConfig) error {
 		return err
 	}
 	grid := core.SweepGrid(p.Theta, cfg.points)
+	if cfg.manifest != nil {
+		// Enrich the run manifest before the sweep so even a failed run's
+		// trace records what was attempted; cache stats are read at exit.
+		cfg.manifest.GridPoints = len(grid)
+		defer func() { cfg.manifest.Caches = a.CacheStats() }()
+	}
 	pr, err := a.CurvePartialWorkers(ctx, grid, cfg.workers)
 	if pr != nil && pr.Report != nil {
-		if merr := dumpMetrics(cfg.metrics, pr.Report.Metrics); merr != nil && err == nil {
+		if merr := dumpMetrics(cfg.metrics, pr.Report.Metrics, cfg.tracer); merr != nil && err == nil {
 			err = merr
 		}
 	}

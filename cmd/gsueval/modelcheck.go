@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"guardedop/internal/mdcd"
+	"guardedop/internal/obs"
 	"guardedop/internal/robust"
 )
 
@@ -19,7 +20,7 @@ import (
 // are routed through robust.Metrics and dumped to stderr, the same
 // structure the batch runners expose, so CI dashboards track
 // model-verification health alongside solver health.
-func modelCheck(p mdcd.Params, w io.Writer, metricsMode string) error {
+func modelCheck(p mdcd.Params, w io.Writer, metricsMode string, tr *obs.Tracer) error {
 	fmt.Fprintf(w, "modelcheck: static model verification on %+v\n\n", p)
 	reports, err := mdcd.CheckModels(p)
 	for _, rep := range reports {
@@ -31,7 +32,7 @@ func modelCheck(p mdcd.Params, w io.Writer, metricsMode string) error {
 		for _, rep := range reports {
 			m.AddChecks(rep.Model, rep.Counters())
 		}
-		if merr := dumpMetrics(metricsMode, m); merr != nil && err == nil {
+		if merr := dumpMetrics(metricsMode, m, tr); merr != nil && err == nil {
 			err = merr
 		}
 	}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"guardedop/internal/obs"
+)
+
+// The acceptance run of the tracing stack: a 50-point paper-scale sweep
+// with -trace must produce a valid JSON trace whose manifest records the
+// curve engine's exact solver-pass budget (98 = 49 RMGd series gaps +
+// 49 RMNd-pair series gaps) and whose span tree covers every solver layer.
+func TestSweepTraceManifest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if _, err := capture(t, func() error {
+		return run([]string{"-sweep", "-points", "49", "-parallel", "2", "-trace", path})
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc obs.TraceDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+
+	m := doc.Manifest
+	if m.SchemaVersion != obs.TraceSchemaVersion {
+		t.Errorf("schema_version = %d, want %d", m.SchemaVersion, obs.TraceSchemaVersion)
+	}
+	if m.Tool != "gsueval" {
+		t.Errorf("tool = %q, want gsueval", m.Tool)
+	}
+	if m.GridPoints != 50 {
+		t.Errorf("grid_points = %d, want 50", m.GridPoints)
+	}
+	if m.Workers != 2 {
+		t.Errorf("workers = %d, want 2", m.Workers)
+	}
+	if m.Params["theta"] != 10000 || m.Params["lambda"] != 1200 {
+		t.Errorf("params incomplete: %+v", m.Params)
+	}
+	// The curve engine's budget on the paper grid: two series sweeps over
+	// 49 gaps each. A regression to per-point solving (8 passes × 50
+	// points) or a pass-attribution leak shows up here exactly.
+	if m.SolverPasses != 98 {
+		t.Errorf("solver_passes = %d, want exactly 98", m.SolverPasses)
+	}
+	if m.Counters[obs.CtrSolvePasses] != 98 {
+		t.Errorf("counters[%s] = %d, want 98", obs.CtrSolvePasses, m.Counters[obs.CtrSolvePasses])
+	}
+	for _, model := range []string{"RMGd", "RMNd(mu_new)", "RMNd(mu_old)"} {
+		if _, ok := m.Caches[model]; !ok {
+			t.Errorf("manifest caches missing %q: %+v", model, m.Caches)
+		}
+	}
+
+	layers := map[string]bool{}
+	for _, s := range doc.Spans {
+		layers[s.Layer] = true
+	}
+	for _, want := range []string{"ctmc", "mdcd", "core", "robust"} {
+		if !layers[want] {
+			t.Errorf("span tree covers no %s spans (layers: %v)", want, layers)
+		}
+	}
+	if len(doc.Histograms) == 0 {
+		t.Error("trace carries no duration histograms")
+	}
+}
+
+// The -metrics json document is a consumer contract: it must carry the
+// schema version stamp and only keys the schema pins. A new key means a
+// schema bump, not a silent extension.
+func TestMetricsJSONSchemaGolden(t *testing.T) {
+	stderr, err := captureStderr(t, func() error {
+		_, runErr := capture(t, func() error {
+			return run([]string{"-sweep", "-points", "4", "-theta", "2000", "-metrics", "json"})
+		})
+		return runErr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if jerr := json.Unmarshal([]byte(stderr), &doc); jerr != nil {
+		t.Fatalf("-metrics json is not valid JSON: %v\n%s", jerr, stderr)
+	}
+	if v, ok := doc["schema_version"].(float64); !ok || v != 1 {
+		t.Errorf("schema_version = %v, want 1", doc["schema_version"])
+	}
+	pinned := map[string]bool{
+		"schema_version": true, "attempts": true, "retries": true,
+		"panics": true, "errors": true, "item_nanos": true,
+		"wall_nanos": true, "workers": true, "solves": true,
+		"checks": true, "counters": true, "stages": true,
+	}
+	for key := range doc {
+		if !pinned[key] {
+			t.Errorf("metrics document grew unpinned key %q — bump robust.MetricsSchemaVersion and the golden set together", key)
+		}
+	}
+	for _, key := range []string{"attempts", "item_nanos", "wall_nanos", "workers", "solves"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("metrics document missing required key %q:\n%s", key, stderr)
+		}
+	}
+}
+
+// -metrics prom must expose the run as Prometheus text families: traced
+// counters, batch counters, stage aggregates, and span histograms.
+func TestMetricsPromSweep(t *testing.T) {
+	stderr, err := captureStderr(t, func() error {
+		_, runErr := capture(t, func() error {
+			return run([]string{"-sweep", "-points", "4", "-theta", "2000", "-metrics", "prom"})
+		})
+		return runErr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE gsu_ctmc_solve_passes_total counter",
+		"gsu_batch_attempts_total",
+		`gsu_stage_total{stage="core.curve"} 1`,
+		"# TYPE gsu_span_duration_seconds histogram",
+		`le="+Inf"`,
+	} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("prom output missing %q:\n%s", want, stderr)
+		}
+	}
+}

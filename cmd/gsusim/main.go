@@ -17,6 +17,7 @@ import (
 
 	"guardedop/internal/experiments"
 	"guardedop/internal/mdcd"
+	"guardedop/internal/obs/pprofutil"
 	"guardedop/internal/sim"
 )
 
@@ -27,16 +28,28 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("gsusim", flag.ContinueOnError)
 	var (
-		paths    = fs.Int("paths", 20000, "Monte-Carlo replications per phi point")
-		seed     = fs.Int64("seed", 2002, "random seed")
-		full     = fs.Bool("full", false, "use the paper-scale Table 3 parameters (orders of magnitude slower)")
-		checkRho = fs.Bool("rho", false, "also estimate rho1/rho2 by long-run simulation of RMGp")
+		paths     = fs.Int("paths", 20000, "Monte-Carlo replications per phi point")
+		seed      = fs.Int64("seed", 2002, "random seed")
+		full      = fs.Bool("full", false, "use the paper-scale Table 3 parameters (orders of magnitude slower)")
+		checkRho  = fs.Bool("rho", false, "also estimate rho1/rho2 by long-run simulation of RMGp")
+		pprofSpec = fs.String("pprof", "", "profiling: \"cpu[=file]\", \"mem[=file]\", or a host:port to serve net/http/pprof")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *pprofSpec != "" {
+		stop, perr := pprofutil.StartPprof(*pprofSpec)
+		if perr != nil {
+			return perr
+		}
+		defer func() {
+			if cerr := stop(); cerr != nil && err == nil {
+				err = fmt.Errorf("pprof: %w", cerr)
+			}
+		}()
 	}
 
 	cfg := experiments.DefaultValsimConfig()

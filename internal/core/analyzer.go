@@ -8,6 +8,7 @@ import (
 	"guardedop/internal/ctmc"
 	"guardedop/internal/mdcd"
 	"guardedop/internal/modelcheck"
+	"guardedop/internal/obs"
 	"guardedop/internal/robust"
 	"guardedop/internal/statespace"
 )
@@ -147,6 +148,17 @@ func verifySpace(name string, sp *statespace.Space) error {
 // Params returns the analyzer's parameter set.
 func (a *Analyzer) Params() mdcd.Params { return a.params }
 
+// CacheStats returns a snapshot of the per-analyzer solve-cache statistics,
+// keyed by the model the cache serves. Run manifests embed it so a trace
+// records how much of the point-wise workload was served from memo.
+func (a *Analyzer) CacheStats() map[string]obs.CacheStats {
+	return map[string]obs.CacheStats{
+		"RMGd":         a.gdSolves.Snapshot(),
+		"RMNd(mu_new)": a.ndNewSolves.Snapshot(),
+		"RMNd(mu_old)": a.ndOldSolves.Snapshot(),
+	}
+}
+
 // Rho returns the solved forward-progress fractions (ρ₁, ρ₂).
 func (a *Analyzer) Rho() (rho1, rho2 float64) { return a.gp.Rho1, a.gp.Rho2 }
 
@@ -186,11 +198,22 @@ func (a *Analyzer) Evaluate(phi float64) (Result, error) {
 // solves go through the analyzer's bounded memo caches, so re-evaluating a
 // previously visited φ costs only dot products.
 func (a *Analyzer) EvaluateWithPolicy(phi float64, policy GammaPolicy) (Result, error) {
+	return a.evaluateCtx(context.Background(), phi, policy)
+}
+
+// evaluateCtx is the cached point-wise evaluation path under a
+// caller-carried context: one "core.evaluate" span covers the call, and
+// the memo-cache hits/misses and any fill's solver passes report to the
+// context's scope/tracer.
+func (a *Analyzer) evaluateCtx(ctx context.Context, phi float64, policy GammaPolicy) (Result, error) {
+	ctx, sp := obs.StartSpan(ctx, "core.evaluate")
+	defer sp.End()
+	sp.SetFloat("phi", phi)
 	p := a.params
 	if math.IsNaN(phi) || phi < 0 || phi > p.Theta {
 		return Result{}, fmt.Errorf("core: phi = %g out of [0, theta=%g]", phi, p.Theta)
 	}
-	pi, acc, err := a.gdSolves.TransientAccumulated(phi)
+	pi, acc, err := a.gdSolves.TransientAccumulatedContext(ctx, phi)
 	if err != nil {
 		return Result{}, fmt.Errorf("core: RMGd measures at phi=%g: %w", phi, err)
 	}
@@ -199,7 +222,7 @@ func (a *Analyzer) EvaluateWithPolicy(phi float64, policy GammaPolicy) (Result, 
 		return Result{}, fmt.Errorf("core: RMGd measures at phi=%g: %w", phi, err)
 	}
 	rem := p.Theta - phi
-	piNew, err := a.ndNewSolves.Transient(rem)
+	piNew, err := a.ndNewSolves.TransientContext(ctx, rem)
 	if err != nil {
 		return Result{}, fmt.Errorf("core: P(X''_(theta-phi)): %w", err)
 	}
@@ -207,7 +230,7 @@ func (a *Analyzer) EvaluateWithPolicy(phi float64, policy GammaPolicy) (Result, 
 	if err != nil {
 		return Result{}, fmt.Errorf("core: P(X''_(theta-phi)): %w", err)
 	}
-	piOld, err := a.ndOldSolves.Transient(rem)
+	piOld, err := a.ndOldSolves.TransientContext(ctx, rem)
 	if err != nil {
 		return Result{}, fmt.Errorf("core: recovered-pair survival: %w", err)
 	}
@@ -396,17 +419,25 @@ func (a *Analyzer) curveBatch(ctx context.Context, phis []float64, strict bool, 
 // durations fail. The report's metrics record the CTMC solver passes the
 // sweep spent (Metrics.Solves).
 func (a *Analyzer) curveBatchPolicy(ctx context.Context, phis []float64, policy GammaPolicy, strict bool, workers int) (*robust.PartialResult[Result], error) {
-	before := ctmc.SolveOps()
+	// The solver-pass count is read off a context-carried scope, not a
+	// global-counter delta, so concurrent analyzers in the same process
+	// cannot pollute each other's Metrics.Solves.
+	ctx, scope := obs.WithScope(ctx)
+	ctx, sp := obs.StartSpan(ctx, "core.curve")
+	defer sp.End()
+	sp.SetInt("points", int64(len(phis)))
 	pts := a.solveCurvePoints(ctx, phis, workers)
 	// The strict curve keeps its historical fail-fast contract, which
 	// RunBatch guarantees by running StopOnError batches sequentially.
-	pr, err := robust.RunBatch(ctx, pts, func(_ context.Context, pt solvedPoint) (Result, error) {
+	pr, err := robust.RunBatch(ctx, pts, func(ictx context.Context, pt solvedPoint) (Result, error) {
 		if pt.err != nil {
-			return a.EvaluateWithPolicy(pt.phi, policy)
+			obs.AddEvent(ictx, "fallback_pointwise")
+			obs.Count(ictx, obs.CtrFallbackPoints, 1)
+			return a.evaluateCtx(ictx, pt.phi, policy)
 		}
 		return a.assemble(pt.phi, policy, pt.gdm, pt.pNewRem, pt.pOldRem)
 	}, robust.BatchOptions{StopOnError: strict, Workers: workers})
-	pr.Report.Metrics.AddSolves(int64(ctmc.SolveOps() - before))
+	pr.Report.Metrics.AddSolves(scope.Counter(obs.CtrSolvePasses))
 	return pr, err
 }
 

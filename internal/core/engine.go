@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"guardedop/internal/mdcd"
+	"guardedop/internal/obs"
 	"guardedop/internal/robust"
 )
 
@@ -62,19 +63,24 @@ func (a *Analyzer) solveCurvePoints(ctx context.Context, phis []float64, workers
 
 	// Segments write disjoint index sets of pts, so the worker pool needs
 	// no further synchronization.
-	pr, batchErr := robust.RunBatch(ctx, chunks, func(_ context.Context, chunk []int) (struct{}, error) {
+	pr, batchErr := robust.RunBatch(ctx, chunks, func(cctx context.Context, chunk []int) (struct{}, error) {
+		cctx, sp := obs.StartSpan(cctx, "core.segment")
+		defer sp.End()
+		sp.SetInt("points", int64(len(chunk)))
 		chunkPhis := make([]float64, len(chunk))
 		rems := make([]float64, len(chunk))
 		for j, idx := range chunk {
 			chunkPhis[j] = phis[idx]
 			rems[j] = theta - phis[idx]
 		}
-		gdms, err := a.gd.MeasuresSeries(chunkPhis)
+		gdms, err := a.gd.MeasuresSeriesContext(cctx, chunkPhis)
 		if err != nil {
+			sp.Event("segment_failed")
 			return struct{}{}, err
 		}
-		pNew, pOld, err := a.ndPair.NoFailureSeries(rems)
+		pNew, pOld, err := a.ndPair.NoFailureSeriesContext(cctx, rems)
 		if err != nil {
+			sp.Event("segment_failed")
 			return struct{}{}, err
 		}
 		for j, idx := range chunk {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"guardedop/internal/obs"
 	"guardedop/internal/robust"
 )
 
@@ -59,11 +60,17 @@ func (a *Analyzer) OptimizePhiContext(ctx context.Context, opts OptimizeOptions)
 	if opts.Tolerance <= 0 || math.IsNaN(opts.Tolerance) {
 		return Result{}, fmt.Errorf("core: invalid tolerance %g", opts.Tolerance)
 	}
+	ctx, osp := obs.StartSpan(ctx, "core.optimize")
+	defer osp.End()
+	osp.SetInt("grid_points", int64(opts.GridPoints))
+	refineEvals := 0
+	defer func() { osp.SetInt("refine_evals", int64(refineEvals)) }()
 
 	// Refinement points go through the memo-cached point-wise path, so the
 	// overlapping φ the golden-section search revisits cost no new solves.
 	eval := func(phi float64) (Result, error) {
-		return a.EvaluateWithPolicy(phi, opts.Policy)
+		refineEvals++
+		return a.evaluateCtx(ctx, phi, opts.Policy)
 	}
 
 	// Coarse bracket over the surviving grid points, solved by the

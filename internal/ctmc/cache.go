@@ -1,8 +1,11 @@
 package ctmc
 
 import (
+	"context"
 	"fmt"
 	"sync"
+
+	"guardedop/internal/obs"
 )
 
 // SolveCache memoizes full-horizon solves of one chain from one fixed
@@ -29,11 +32,12 @@ type SolveCache struct {
 	capacity int
 	withAcc  bool
 
-	mu      sync.Mutex
-	entries map[float64]*solveEntry
-	order   []float64 // insertion order, for FIFO eviction
-	hits    uint64
-	misses  uint64
+	mu        sync.Mutex
+	entries   map[float64]*solveEntry
+	order     []float64 // insertion order, for FIFO eviction
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
 // solveEntry is one memoized horizon; acc is nil when the cache was built
@@ -72,7 +76,14 @@ func NewSolveCache(chain *Chain, pi0 []float64, capacity int, withAccumulated bo
 
 // Transient returns π(t), solving and memoizing on first use.
 func (s *SolveCache) Transient(t float64) ([]float64, error) {
-	e, err := s.lookup(t)
+	return s.TransientContext(context.Background(), t)
+}
+
+// TransientContext is Transient under a caller-carried context: hits,
+// misses, evictions, and any fill's solver pass report to the context's
+// obs scope/tracer.
+func (s *SolveCache) TransientContext(ctx context.Context, t float64) ([]float64, error) {
+	e, err := s.lookup(ctx, t)
 	if err != nil {
 		return nil, err
 	}
@@ -83,10 +94,16 @@ func (s *SolveCache) Transient(t float64) ([]float64, error) {
 // memoized combined pass. The cache must have been built with
 // withAccumulated set.
 func (s *SolveCache) TransientAccumulated(t float64) (pi, acc []float64, err error) {
+	return s.TransientAccumulatedContext(context.Background(), t)
+}
+
+// TransientAccumulatedContext is TransientAccumulated under a
+// caller-carried context.
+func (s *SolveCache) TransientAccumulatedContext(ctx context.Context, t float64) (pi, acc []float64, err error) {
 	if !s.withAcc {
 		return nil, nil, fmt.Errorf("ctmc: SolveCache was built without accumulated solves")
 	}
-	e, err := s.lookup(t)
+	e, err := s.lookup(ctx, t)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -95,20 +112,22 @@ func (s *SolveCache) TransientAccumulated(t float64) (pi, acc []float64, err err
 
 // lookup serves a horizon from the memo, filling it with a full-horizon
 // solve on a miss.
-func (s *SolveCache) lookup(t float64) (*solveEntry, error) {
+func (s *SolveCache) lookup(ctx context.Context, t float64) (*solveEntry, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if e, ok := s.entries[t]; ok {
 		s.hits++
+		obs.Count(ctx, obs.CtrCacheHits, 1)
 		return e, nil
 	}
 	s.misses++
+	obs.Count(ctx, obs.CtrCacheMisses, 1)
 	e := &solveEntry{}
 	var err error
 	if s.withAcc {
-		e.pi, e.acc, err = s.chain.transientAccumulated(s.pi0, t)
+		e.pi, e.acc, err = s.chain.transientAccumulated(ctx, s.pi0, t)
 	} else {
-		e.pi, err = s.chain.Transient(s.pi0, t)
+		e.pi, err = s.chain.TransientContext(ctx, s.pi0, t)
 	}
 	if err != nil {
 		return nil, err
@@ -117,6 +136,8 @@ func (s *SolveCache) lookup(t float64) (*solveEntry, error) {
 		evict := s.order[0]
 		s.order = s.order[1:]
 		delete(s.entries, evict)
+		s.evictions++
+		obs.Count(ctx, obs.CtrCacheEvictions, 1)
 	}
 	s.entries[t] = e
 	s.order = append(s.order, t)
@@ -128,6 +149,19 @@ func (s *SolveCache) Stats() (hits, misses uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.hits, s.misses
+}
+
+// Snapshot returns the full cache statistics — hits, misses, evictions,
+// and the number of currently memoized horizons — for run manifests.
+func (s *SolveCache) Snapshot() obs.CacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return obs.CacheStats{
+		Hits:      s.hits,
+		Misses:    s.misses,
+		Evictions: s.evictions,
+		Len:       len(s.entries),
+	}
 }
 
 // Len returns the number of memoized horizons.

@@ -1,6 +1,7 @@
 package ctmc
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -135,7 +136,7 @@ func TestTransientAccumulatedExpmMatchesSeparate(t *testing.T) {
 	c := birthDeath(t, 5, 1.2, 0.7)
 	pi0, _ := c.PointMass(0)
 	for _, tt := range []float64{0, 0.5, 4} {
-		pi, acc, err := c.transientAccumulatedExpm(pi0, tt)
+		pi, acc, err := c.transientAccumulatedExpm(context.Background(), pi0, tt)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,9 +1,11 @@
 package ctmc
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"guardedop/internal/obs"
 	"guardedop/internal/robust"
 	"guardedop/internal/sparse"
 )
@@ -79,6 +81,12 @@ func pade13(a *sparse.Dense) (*sparse.Dense, error) {
 
 // TransientExpm computes π(t) = π₀ e^{Qt} by dense matrix exponential.
 func (c *Chain) TransientExpm(pi0 []float64, t float64) ([]float64, error) {
+	return c.transientExpm(context.Background(), pi0, t)
+}
+
+// transientExpm is TransientExpm under a caller-carried context: the pass
+// counts against the context's solve scope and emits one "ctmc.expm" span.
+func (c *Chain) transientExpm(ctx context.Context, pi0 []float64, t float64) ([]float64, error) {
 	if err := c.checkDistribution(pi0); err != nil {
 		return nil, err
 	}
@@ -88,7 +96,11 @@ func (c *Chain) TransientExpm(pi0 []float64, t float64) ([]float64, error) {
 	if t == 0 {
 		return append([]float64(nil), pi0...), nil
 	}
-	countSolveOp()
+	countSolveOp(ctx)
+	_, sp := obs.StartSpan(ctx, "ctmc.expm")
+	defer sp.End()
+	sp.SetInt("states", int64(c.n))
+	sp.SetFloat("t", t)
 	qt := c.gen.ToDense().Scale(t)
 	e, err := Expm(qt)
 	if err != nil {
@@ -106,7 +118,7 @@ func (c *Chain) TransientExpm(pi0 []float64, t float64) ([]float64, error) {
 // AccumulatedExpm computes L(t) = ∫₀ᵗ π(u) du using the Van Loan augmented
 // generator: exp([[Q, I], [0, 0]] t) has ∫₀ᵗ e^{Qu}du as its (1,2) block.
 func (c *Chain) AccumulatedExpm(pi0 []float64, t float64) ([]float64, error) {
-	_, acc, err := c.transientAccumulatedExpm(pi0, t)
+	_, acc, err := c.transientAccumulatedExpm(context.Background(), pi0, t)
 	return acc, err
 }
 
@@ -114,7 +126,7 @@ func (c *Chain) AccumulatedExpm(pi0 []float64, t float64) ([]float64, error) {
 // augmented exponential: the (1,1) block of exp([[Q, I], [0, 0]] t) is
 // e^{Qt} and the (1,2) block is ∫₀ᵗ e^{Qu}du, so one dense solver pass
 // serves both the instant-of-time and the accumulated view.
-func (c *Chain) transientAccumulatedExpm(pi0 []float64, t float64) (pi, acc []float64, err error) {
+func (c *Chain) transientAccumulatedExpm(ctx context.Context, pi0 []float64, t float64) (pi, acc []float64, err error) {
 	if err := c.checkDistribution(pi0); err != nil {
 		return nil, nil, err
 	}
@@ -126,7 +138,11 @@ func (c *Chain) transientAccumulatedExpm(pi0 []float64, t float64) (pi, acc []fl
 	if t == 0 {
 		return append([]float64(nil), pi0...), acc, nil
 	}
-	countSolveOp()
+	countSolveOp(ctx)
+	_, sp := obs.StartSpan(ctx, "ctmc.expm_vanloan")
+	defer sp.End()
+	sp.SetInt("states", int64(n))
+	sp.SetFloat("t", t)
 	aug := sparse.NewDense(2*n, 2*n)
 	for r := 0; r < n; r++ {
 		c.gen.Row(r, func(cc int, v float64) {

@@ -1,10 +1,12 @@
 package ctmc
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"guardedop/internal/obs"
 	"guardedop/internal/robust"
 	"guardedop/internal/sparse"
 )
@@ -16,7 +18,15 @@ import (
 // one transient solve per gap instead of one per horizon, which matters for
 // the long stiff horizons of the guarded-operation study.
 func (c *Chain) TransientSeries(pi0 []float64, ts []float64) ([][]float64, error) {
-	pis, _, err := c.seriesWalk(pi0, ts, false)
+	pis, _, err := c.seriesWalk(context.Background(), pi0, ts, false)
+	return pis, err
+}
+
+// TransientSeriesContext is TransientSeries under a caller-carried
+// context: the shared propagation emits one "ctmc.series" span covering
+// every per-gap solver pass.
+func (c *Chain) TransientSeriesContext(ctx context.Context, pi0 []float64, ts []float64) ([][]float64, error) {
+	pis, _, err := c.seriesWalk(ctx, pi0, ts, false)
 	return pis, err
 }
 
@@ -25,7 +35,7 @@ func (c *Chain) TransientSeries(pi0 []float64, ts []float64) ([][]float64, error
 // propagation across the whole series: L(t_k) = L(t_{k−1}) + ∫ over the gap,
 // with the gap integral solved from the propagated distribution.
 func (c *Chain) AccumulatedSeries(pi0 []float64, ts []float64) ([][]float64, error) {
-	_, accs, err := c.seriesWalk(pi0, ts, true)
+	_, accs, err := c.seriesWalk(context.Background(), pi0, ts, true)
 	return accs, err
 }
 
@@ -34,7 +44,13 @@ func (c *Chain) AccumulatedSeries(pi0 []float64, ts []float64) ([][]float64, err
 // core of the curve engine, where every instant-of-time and accumulated
 // reward of a φ-grid point is a dot product against these two vectors.
 func (c *Chain) TransientAccumulatedSeries(pi0 []float64, ts []float64) (pis, accs [][]float64, err error) {
-	return c.seriesWalk(pi0, ts, true)
+	return c.seriesWalk(context.Background(), pi0, ts, true)
+}
+
+// TransientAccumulatedSeriesContext is TransientAccumulatedSeries under a
+// caller-carried context.
+func (c *Chain) TransientAccumulatedSeriesContext(ctx context.Context, pi0 []float64, ts []float64) (pis, accs [][]float64, err error) {
+	return c.seriesWalk(ctx, pi0, ts, true)
 }
 
 // seriesWalk is the shared series engine: it visits the time points in
@@ -42,13 +58,17 @@ func (c *Chain) TransientAccumulatedSeries(pi0 []float64, ts []float64) (pis, ac
 // running accumulated-sojourn vector) across the gaps between consecutive
 // distinct times. Outputs are aligned with the input order; duplicate time
 // points receive identical copies.
-func (c *Chain) seriesWalk(pi0, ts []float64, wantAcc bool) (pis, accs [][]float64, err error) {
+func (c *Chain) seriesWalk(ctx context.Context, pi0, ts []float64, wantAcc bool) (pis, accs [][]float64, err error) {
 	if err := c.checkDistribution(pi0); err != nil {
 		return nil, nil, err
 	}
 	if len(ts) == 0 {
 		return nil, nil, nil
 	}
+	ctx, sp := obs.StartSpan(ctx, "ctmc.series")
+	defer sp.End()
+	sp.SetInt("states", int64(c.n))
+	sp.SetInt("points", int64(len(ts)))
 	order := make([]int, len(ts))
 	for i := range order {
 		order[i] = i
@@ -77,14 +97,14 @@ func (c *Chain) seriesWalk(pi0, ts []float64, wantAcc bool) (pis, accs [][]float
 				return nil, nil, err
 			}
 			if wantAcc {
-				next, gapAcc, err := c.transientAccumulated(renorm, dt)
+				next, gapAcc, err := c.transientAccumulated(ctx, renorm, dt)
 				if err != nil {
 					return nil, nil, err
 				}
 				cur = next
 				sparse.Axpy(cum, 1, gapAcc)
 			} else {
-				next, err := c.Transient(renorm, dt)
+				next, err := c.TransientContext(ctx, renorm, dt)
 				if err != nil {
 					return nil, nil, err
 				}
@@ -98,6 +118,7 @@ func (c *Chain) seriesWalk(pi0, ts []float64, wantAcc bool) (pis, accs [][]float
 			accs[idx] = append([]float64(nil), cum...)
 		}
 	}
+	sp.SetInt("gaps", int64(steps))
 	return pis, accs, nil
 }
 

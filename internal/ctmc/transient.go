@@ -1,6 +1,7 @@
 package ctmc
 
 import (
+	"context"
 	"fmt"
 
 	"guardedop/internal/robust"
@@ -18,19 +19,34 @@ const denseTransientLimit = 1024
 // Transient computes π(t) choosing between uniformization and the dense
 // matrix exponential based on the stiffness q·t and the chain size.
 func (c *Chain) Transient(pi0 []float64, t float64) ([]float64, error) {
+	return c.TransientContext(context.Background(), pi0, t)
+}
+
+// TransientContext is Transient under a caller-carried context: the
+// solver pass reports to the obs scope/tracer the context carries, so
+// batch layers attribute the cost to the right run.
+func (c *Chain) TransientContext(ctx context.Context, pi0 []float64, t float64) ([]float64, error) {
 	if c.q*t <= uniformizationBudget || c.n > denseTransientLimit {
-		return c.TransientUniformization(pi0, t, UniformizationOptions{})
+		pi, _, err := c.uniformize(ctx, pi0, t, UniformizationOptions{}, false)
+		return pi, err
 	}
-	return c.TransientExpm(pi0, t)
+	return c.transientExpm(ctx, pi0, t)
 }
 
 // Accumulated computes ∫₀ᵗ π(u) du with the same automatic method selection
 // as Transient.
 func (c *Chain) Accumulated(pi0 []float64, t float64) ([]float64, error) {
+	return c.AccumulatedContext(context.Background(), pi0, t)
+}
+
+// AccumulatedContext is Accumulated under a caller-carried context.
+func (c *Chain) AccumulatedContext(ctx context.Context, pi0 []float64, t float64) ([]float64, error) {
 	if c.q*t <= uniformizationBudget || c.n > denseTransientLimit {
-		return c.AccumulatedUniformization(pi0, t, UniformizationOptions{})
+		_, acc, err := c.uniformize(ctx, pi0, t, UniformizationOptions{}, true)
+		return acc, err
 	}
-	return c.AccumulatedExpm(pi0, t)
+	_, acc, err := c.transientAccumulatedExpm(ctx, pi0, t)
+	return acc, err
 }
 
 // transientAccumulated computes π(t) and L(t) = ∫₀ᵗ π(u)du together in a
@@ -39,17 +55,22 @@ func (c *Chain) Accumulated(pi0 []float64, t float64) ([]float64, error) {
 // Van Loan augmented exponential. This halves the solver passes of callers
 // that need an instant-of-time and an accumulated view at the same horizon
 // (the curve engine's per-gap workload).
-func (c *Chain) transientAccumulated(pi0 []float64, t float64) (pi, acc []float64, err error) {
+func (c *Chain) transientAccumulated(ctx context.Context, pi0 []float64, t float64) (pi, acc []float64, err error) {
 	if c.q*t <= uniformizationBudget || c.n > denseTransientLimit {
-		return c.uniformize(pi0, t, UniformizationOptions{}, true)
+		return c.uniformize(ctx, pi0, t, UniformizationOptions{}, true)
 	}
-	return c.transientAccumulatedExpm(pi0, t)
+	return c.transientAccumulatedExpm(ctx, pi0, t)
 }
 
 // TransientReward returns Σ_s rates[s]·π_s(t): the expected instant-of-time
 // reward at t for the rate-reward vector rates.
 func (c *Chain) TransientReward(pi0 []float64, t float64, rates []float64) (float64, error) {
-	pi, err := c.Transient(pi0, t)
+	return c.TransientRewardContext(context.Background(), pi0, t, rates)
+}
+
+// TransientRewardContext is TransientReward under a caller-carried context.
+func (c *Chain) TransientRewardContext(ctx context.Context, pi0 []float64, t float64, rates []float64) (float64, error) {
+	pi, err := c.TransientContext(ctx, pi0, t)
 	if err != nil {
 		return 0, err
 	}
@@ -59,7 +80,13 @@ func (c *Chain) TransientReward(pi0 []float64, t float64, rates []float64) (floa
 // AccumulatedReward returns Σ_s rates[s]·∫₀ᵗ π_s(u)du: the expected
 // accumulated interval-of-time reward over [0, t].
 func (c *Chain) AccumulatedReward(pi0 []float64, t float64, rates []float64) (float64, error) {
-	acc, err := c.Accumulated(pi0, t)
+	return c.AccumulatedRewardContext(context.Background(), pi0, t, rates)
+}
+
+// AccumulatedRewardContext is AccumulatedReward under a caller-carried
+// context.
+func (c *Chain) AccumulatedRewardContext(ctx context.Context, pi0 []float64, t float64, rates []float64) (float64, error) {
+	acc, err := c.AccumulatedContext(ctx, pi0, t)
 	if err != nil {
 		return 0, err
 	}

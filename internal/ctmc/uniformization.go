@@ -1,9 +1,11 @@
 package ctmc
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"guardedop/internal/obs"
 	"guardedop/internal/robust"
 	"guardedop/internal/sparse"
 )
@@ -43,7 +45,7 @@ func (o UniformizationOptions) withDefaults() UniformizationOptions {
 // initial distribution pi0 by uniformization. It also works for t == 0
 // (returning a copy of pi0).
 func (c *Chain) TransientUniformization(pi0 []float64, t float64, opts UniformizationOptions) ([]float64, error) {
-	pi, _, err := c.uniformize(pi0, t, opts, false)
+	pi, _, err := c.uniformize(context.Background(), pi0, t, opts, false)
 	return pi, err
 }
 
@@ -55,20 +57,30 @@ func (c *Chain) TransientUniformization(pi0 []float64, t float64, opts Uniformiz
 //
 // where F is the Poisson CDF and P the uniformized DTMC matrix.
 func (c *Chain) AccumulatedUniformization(pi0 []float64, t float64, opts UniformizationOptions) ([]float64, error) {
-	_, acc, err := c.uniformize(pi0, t, opts, true)
+	_, acc, err := c.uniformize(context.Background(), pi0, t, opts, true)
 	return acc, err
 }
 
 // uniformize runs the shared vector iteration. When wantAccumulated is true
 // the second return value holds ∫₀ᵗ π(u)du; the first holds π(t) always.
-func (c *Chain) uniformize(pi0 []float64, t float64, opts UniformizationOptions, wantAccumulated bool) ([]float64, []float64, error) {
+// One call is one solver pass: it counts against the context's solve-pass
+// scope and, when a tracer is attached, emits one "ctmc.uniformize" span
+// annotated with the state count, the Poisson truncation point, and the
+// number of vector iterations actually spent.
+func (c *Chain) uniformize(ctx context.Context, pi0 []float64, t float64, opts UniformizationOptions, wantAccumulated bool) ([]float64, []float64, error) {
 	if err := c.checkDistribution(pi0); err != nil {
 		return nil, nil, err
 	}
 	if t < 0 || math.IsNaN(t) || math.IsInf(t, 0) {
 		return nil, nil, fmt.Errorf("%w: t=%g", errNegativeTime, t)
 	}
-	countSolveOp()
+	countSolveOp(ctx)
+	_, sp := obs.StartSpan(ctx, "ctmc.uniformize")
+	defer sp.End()
+	sp.SetInt("states", int64(c.n))
+	sp.SetFloat("t", t)
+	iterations := 0
+	defer func() { sp.SetInt("iterations", int64(iterations)) }()
 	opts = opts.withDefaults()
 
 	pi := append([]float64(nil), pi0...)
@@ -91,6 +103,7 @@ func (c *Chain) uniformize(pi0 []float64, t float64, opts UniformizationOptions,
 	if err != nil {
 		return nil, nil, err
 	}
+	sp.SetInt("poisson_right", int64(win.Right))
 	maxIter := opts.MaxIterations
 	if maxIter == 0 {
 		maxIter = win.Right + 2
@@ -125,8 +138,10 @@ func (c *Chain) uniformize(pi0 []float64, t float64, opts UniformizationOptions,
 				maxIter, q*t, robust.ErrNotConverged)
 		}
 		p.VecMul(next, v)
+		iterations++
 		if !opts.DisableSteadyStateDetection {
 			if sparse.L1Dist(next, v) < opts.SteadyStateTol {
+				sp.Event("steady_state_detected")
 				// The DTMC iterates have converged; fold all remaining
 				// Poisson mass (and accumulated weight) onto v.
 				sparse.Axpy(out, 1-cdf, next)

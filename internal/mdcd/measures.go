@@ -1,8 +1,10 @@
 package mdcd
 
 import (
+	"context"
 	"fmt"
 
+	"guardedop/internal/obs"
 	"guardedop/internal/reward"
 	"guardedop/internal/robust"
 	"guardedop/internal/san"
@@ -108,25 +110,45 @@ func (r *RMGd) Table1Structures() map[string]*reward.Structure {
 // path; φ-grids should use MeasuresSeries, which shares a single
 // incremental propagation across the whole grid.
 func (r *RMGd) Measures(phi float64) (GdMeasures, error) {
+	return r.MeasuresContext(context.Background(), phi)
+}
+
+// MeasuresContext is Measures under a caller-carried context: one
+// "mdcd.RMGd.measures" span covers the call, with a child
+// "mdcd.measure" span per Table 1 constituent so a trace shows which
+// measure each solver pass served.
+func (r *RMGd) MeasuresContext(ctx context.Context, phi float64) (GdMeasures, error) {
+	ctx, sp := obs.StartSpan(ctx, "mdcd.RMGd.measures")
+	defer sp.End()
+	sp.SetFloat("phi", phi)
+	ch, init := r.Space.Chain, r.Space.Initial
+	solve := func(name string, accumulated bool, rates []float64) (float64, error) {
+		mctx, msp := obs.StartSpan(ctx, "mdcd.measure")
+		defer msp.End()
+		msp.SetStr("measure", name)
+		if accumulated {
+			return ch.AccumulatedRewardContext(mctx, init, phi, rates)
+		}
+		return ch.TransientRewardContext(mctx, init, phi, rates)
+	}
 	var out GdMeasures
 	var err error
-	ch, init := r.Space.Chain, r.Space.Initial
-	if out.IntH, err = ch.TransientReward(init, phi, r.vIntH); err != nil {
+	if out.IntH, err = solve("int_h", false, r.vIntH); err != nil {
 		return out, err
 	}
-	if out.IntTauH, err = ch.AccumulatedReward(init, phi, r.vIntTauH); err != nil {
+	if out.IntTauH, err = solve("int_tau_h", true, r.vIntTauH); err != nil {
 		return out, err
 	}
-	if out.IntHF, err = ch.TransientReward(init, phi, r.vIntHF); err != nil {
+	if out.IntHF, err = solve("int_int_h_f", false, r.vIntHF); err != nil {
 		return out, err
 	}
-	if out.PA1, err = ch.TransientReward(init, phi, r.vPA1); err != nil {
+	if out.PA1, err = solve("P(A1)", false, r.vPA1); err != nil {
 		return out, err
 	}
-	if out.PUndetectedFailure, err = ch.TransientReward(init, phi, r.vUndet); err != nil {
+	if out.PUndetectedFailure, err = solve("P(A4)", false, r.vUndet); err != nil {
 		return out, err
 	}
-	if out.AccDetected, err = ch.AccumulatedReward(init, phi, r.vDetected); err != nil {
+	if out.AccDetected, err = solve("acc_detected", true, r.vDetected); err != nil {
 		return out, err
 	}
 	out.phi = phi
@@ -167,7 +189,16 @@ func (r *RMGd) MeasuresFromSolution(phi float64, pi, acc []float64) (GdMeasures,
 // of the sorted grid serves all six measures of every point, instead of the
 // six independent full-horizon solves Measures spends per φ.
 func (r *RMGd) MeasuresSeries(phis []float64) ([]GdMeasures, error) {
-	pis, accs, err := r.Space.Chain.TransientAccumulatedSeries(r.Space.Initial, phis)
+	return r.MeasuresSeriesContext(context.Background(), phis)
+}
+
+// MeasuresSeriesContext is MeasuresSeries under a caller-carried context:
+// the shared propagation runs inside one "mdcd.RMGd.measures_series" span.
+func (r *RMGd) MeasuresSeriesContext(ctx context.Context, phis []float64) ([]GdMeasures, error) {
+	ctx, sp := obs.StartSpan(ctx, "mdcd.RMGd.measures_series")
+	defer sp.End()
+	sp.SetInt("points", int64(len(phis)))
+	pis, accs, err := r.Space.Chain.TransientAccumulatedSeriesContext(ctx, r.Space.Initial, phis)
 	if err != nil {
 		return nil, err
 	}

@@ -1,9 +1,11 @@
 package mdcd
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"guardedop/internal/obs"
 	"guardedop/internal/san"
 	"guardedop/internal/statespace"
 )
@@ -104,7 +106,17 @@ func BuildRMNd(p Params, mu1 float64) (*RMNd, error) {
 // expected instant-of-time reward with predicate MARK(failure)==0 and rate 1
 // (paper §5.2.3).
 func (r *RMNd) NoFailureProbability(t float64) (float64, error) {
-	return r.Space.Chain.TransientReward(r.Space.Initial, t, r.noFailRates)
+	return r.NoFailureProbabilityContext(context.Background(), t)
+}
+
+// NoFailureProbabilityContext is NoFailureProbability under a
+// caller-carried context: the pass runs inside one
+// "mdcd.RMNd.no_failure" span.
+func (r *RMNd) NoFailureProbabilityContext(ctx context.Context, t float64) (float64, error) {
+	ctx, sp := obs.StartSpan(ctx, "mdcd.RMNd.no_failure")
+	defer sp.End()
+	sp.SetFloat("t", t)
+	return r.Space.Chain.TransientRewardContext(ctx, r.Space.Initial, t, r.noFailRates)
 }
 
 // NoFailureFromSolution reads P(no failure) off an already-solved
@@ -119,7 +131,16 @@ func (r *RMNd) NoFailureFromSolution(pi []float64) (float64, error) {
 // incremental propagation across the grid: one solver pass per gap instead
 // of one full solve per horizon.
 func (r *RMNd) NoFailureProbabilitySeries(ts []float64) ([]float64, error) {
-	pis, err := r.Space.Chain.TransientSeries(r.Space.Initial, ts)
+	return r.NoFailureProbabilitySeriesContext(context.Background(), ts)
+}
+
+// NoFailureProbabilitySeriesContext is NoFailureProbabilitySeries under a
+// caller-carried context.
+func (r *RMNd) NoFailureProbabilitySeriesContext(ctx context.Context, ts []float64) ([]float64, error) {
+	ctx, sp := obs.StartSpan(ctx, "mdcd.RMNd.no_failure_series")
+	defer sp.End()
+	sp.SetInt("points", int64(len(ts)))
+	pis, err := r.Space.Chain.TransientSeriesContext(ctx, r.Space.Initial, ts)
 	if err != nil {
 		return nil, err
 	}

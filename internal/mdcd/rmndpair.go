@@ -1,9 +1,11 @@
 package mdcd
 
 import (
+	"context"
 	"fmt"
 
 	"guardedop/internal/ctmc"
+	"guardedop/internal/obs"
 	"guardedop/internal/sparse"
 )
 
@@ -67,7 +69,12 @@ func NewRMNdPair(first, second *RMNd) (*RMNdPair, error) {
 
 // NoFailure returns both models' P(no failure by t) from one solver pass.
 func (p *RMNdPair) NoFailure(t float64) (first, second float64, err error) {
-	fs, ss, err := p.NoFailureSeries([]float64{t})
+	return p.NoFailureContext(context.Background(), t)
+}
+
+// NoFailureContext is NoFailure under a caller-carried context.
+func (p *RMNdPair) NoFailureContext(ctx context.Context, t float64) (first, second float64, err error) {
+	fs, ss, err := p.NoFailureSeriesContext(ctx, []float64{t})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -80,7 +87,17 @@ func (p *RMNdPair) NoFailure(t float64) (first, second float64, err error) {
 // the passes of running the two models' series separately, a quarter of
 // point-wise evaluation.
 func (p *RMNdPair) NoFailureSeries(ts []float64) (first, second []float64, err error) {
-	pis, err := p.chain.TransientSeries(p.pi0, ts)
+	return p.NoFailureSeriesContext(context.Background(), ts)
+}
+
+// NoFailureSeriesContext is NoFailureSeries under a caller-carried context:
+// the stacked-pair propagation runs inside one
+// "mdcd.RMNdPair.no_failure_series" span.
+func (p *RMNdPair) NoFailureSeriesContext(ctx context.Context, ts []float64) (first, second []float64, err error) {
+	ctx, sp := obs.StartSpan(ctx, "mdcd.RMNdPair.no_failure_series")
+	defer sp.End()
+	sp.SetInt("points", int64(len(ts)))
+	pis, err := p.chain.TransientSeriesContext(ctx, p.pi0, ts)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,50 @@
+package obs
+
+// histBounds are the histogram bucket upper bounds in nanoseconds:
+// decades from 1µs to 10s. Solver passes span roughly 100µs (small dense
+// chains) to seconds (stiff uniformization), so decade resolution tells a
+// perf investigation which regime a run lived in without per-span math.
+var histBounds = [...]int64{
+	1_000, 10_000, 100_000, 1_000_000, 10_000_000,
+	100_000_000, 1_000_000_000, 10_000_000_000,
+}
+
+// Histogram is a fixed-bucket duration histogram (nanoseconds). The zero
+// value is ready to use. Not safe for concurrent use on its own — the
+// Tracer serializes access.
+type Histogram struct {
+	counts [len(histBounds) + 1]int64 // counts[len] = overflow bucket
+	sum    int64
+	n      int64
+}
+
+// observe folds one duration (in nanoseconds) into the histogram.
+func (h *Histogram) observe(ns int64) {
+	i := 0
+	for i < len(histBounds) && ns > histBounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += ns
+	h.n++
+}
+
+// HistSnapshot is the serializable state of one histogram. Counts[i] is
+// the number of observations ≤ BoundsNanos[i]; the final entry of Counts
+// is the overflow bucket.
+type HistSnapshot struct {
+	BoundsNanos []int64 `json:"bounds_ns"`
+	Counts      []int64 `json:"counts"`
+	SumNanos    int64   `json:"sum_ns"`
+	Count       int64   `json:"count"`
+}
+
+// snapshot copies the histogram state.
+func (h *Histogram) snapshot() HistSnapshot {
+	return HistSnapshot{
+		BoundsNanos: append([]int64(nil), histBounds[:]...),
+		Counts:      append([]int64(nil), h.counts[:]...),
+		SumNanos:    h.sum,
+		Count:       h.n,
+	}
+}

@@ -1,0 +1,109 @@
+// Package pprofutil wires Go's runtime profilers to a -pprof CLI flag.
+//
+// It lives apart from internal/obs on purpose: the net/http/pprof server
+// drags the whole HTTP stack into any binary that links it, and merely
+// linking that graph into the solver test binaries measurably perturbs
+// the curve-engine hot loops (~10% on BenchmarkCurveEngine, with zero
+// obs calls executed — see docs/OBSERVABILITY.md). Solver packages import
+// obs, which must therefore stay free of net/http; only the command
+// mains import pprofutil.
+package pprofutil
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	rtpprof "runtime/pprof"
+	"strings"
+	"time"
+)
+
+// StartPprof wires a profiling hook from a -pprof flag value and returns
+// the function that finalizes it (write the profile file, or shut the
+// server down). Specs:
+//
+//	cpu[=file]    CPU profile over the whole run (default cpu.pprof)
+//	mem[=file]    heap profile written at exit (default mem.pprof)
+//	host:port     net/http/pprof server (e.g. localhost:6060), live
+//	              until stop is called
+//
+// The returned stop is never nil on success and is safe to call exactly
+// once; it reports file-write or shutdown failures so a run whose profile
+// was lost says so instead of exiting cleanly.
+func StartPprof(spec string) (stop func() error, err error) {
+	mode, arg, _ := strings.Cut(spec, "=")
+	switch mode {
+	case "cpu":
+		if arg == "" {
+			arg = "cpu.pprof"
+		}
+		f, err := os.Create(arg)
+		if err != nil {
+			return nil, fmt.Errorf("pprofutil: cpu: %w", err)
+		}
+		if err := rtpprof.StartCPUProfile(f); err != nil {
+			if cerr := f.Close(); cerr != nil {
+				err = fmt.Errorf("%w (also failed closing %s: %v)", err, arg, cerr)
+			}
+			return nil, fmt.Errorf("pprofutil: cpu: %w", err)
+		}
+		return func() error {
+			rtpprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("pprofutil: cpu: %w", err)
+			}
+			return nil
+		}, nil
+
+	case "mem":
+		if arg == "" {
+			arg = "mem.pprof"
+		}
+		// Fail on an unwritable path now, not after the run.
+		f, err := os.Create(arg)
+		if err != nil {
+			return nil, fmt.Errorf("pprofutil: mem: %w", err)
+		}
+		return func() error {
+			runtime.GC() // materialize live-heap accounting before the snapshot
+			if err := rtpprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("pprofutil: mem: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("pprofutil: mem: %w", err)
+			}
+			return nil
+		}, nil
+
+	default:
+		if !strings.Contains(spec, ":") {
+			return nil, fmt.Errorf("pprofutil: -pprof wants cpu[=file], mem[=file] or host:port, got %q", spec)
+		}
+		ln, err := net.Listen("tcp", spec)
+		if err != nil {
+			return nil, fmt.Errorf("pprofutil: server: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(ln) }()
+		fmt.Fprintf(os.Stderr, "pprof: serving on http://%s/debug/pprof/\n", ln.Addr())
+		return func() error {
+			if err := srv.Close(); err != nil {
+				return fmt.Errorf("pprofutil: server: %w", err)
+			}
+			if err := <-done; err != nil && err != http.ErrServerClosed {
+				return fmt.Errorf("pprofutil: server: %w", err)
+			}
+			return nil
+		}, nil
+	}
+}

@@ -1,0 +1,54 @@
+package pprofutil
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The cpu and mem specs must produce non-empty profile files at the
+// requested paths once stop runs.
+func TestStartPprofFileModes(t *testing.T) {
+	dir := t.TempDir()
+	for _, mode := range []string{"cpu", "mem"} {
+		path := filepath.Join(dir, mode+".pprof")
+		stop, err := StartPprof(mode + "=" + path)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		// Burn a little CPU so the profile has something to record.
+		x := 0.0
+		for i := 0; i < 1_000_00; i++ {
+			x += float64(i) * 1e-9
+		}
+		_ = x
+		if err := stop(); err != nil {
+			t.Fatalf("%s stop: %v", mode, err)
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("%s profile missing: %v", mode, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("%s profile is empty", mode)
+		}
+	}
+}
+
+// The HTTP mode must come up on a real listener and shut down cleanly.
+func TestStartPprofServer(t *testing.T) {
+	stop, err := StartPprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A malformed spec must be rejected up front.
+func TestStartPprofBadSpec(t *testing.T) {
+	if _, err := StartPprof("bogus"); err == nil {
+		t.Fatal("expected an error for a bogus -pprof spec")
+	}
+}

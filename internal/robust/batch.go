@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"guardedop/internal/obs"
 )
 
 // BatchOptions tunes RunBatch.
@@ -180,6 +182,10 @@ func RunBatch[T, R any](ctx context.Context, items []T, fn func(ctx context.Cont
 		ctx = context.Background()
 	}
 	workers := opts.workerCount(len(items))
+	ctx, bsp := obs.StartSpan(ctx, "robust.batch")
+	defer bsp.End()
+	bsp.SetInt("items", int64(len(items)))
+	bsp.SetInt("workers", int64(workers))
 	out := &PartialResult[R]{
 		Results: make([]R, len(items)),
 		OK:      make([]bool, len(items)),
@@ -203,7 +209,14 @@ func RunBatch[T, R any](ctx context.Context, items []T, fn func(ctx context.Cont
 			}
 			st := &states[i]
 			st.started = true
-			runAttempts(ctx, items[i], fn, opts, st)
+			// Each worker goroutine starts, annotates and ends its own item
+			// spans, honouring the span ownership rule; only the enclosing
+			// batch span is shared, and workers never touch it.
+			ictx, isp := obs.StartSpan(ctx, "robust.item")
+			isp.SetInt("index", int64(i))
+			runAttempts(ictx, items[i], fn, opts, st)
+			isp.SetInt("attempts", int64(st.attempts))
+			isp.End()
 			if st.err != nil && opts.StopOnError {
 				stopped.Store(true)
 			}
@@ -308,6 +321,8 @@ func runAttempts[T, R any](ctx context.Context, item T, fn func(context.Context,
 			st.err = fmt.Errorf("%w: %v (interrupted retry of: %w)", ErrCanceled, cerr, err)
 			return
 		}
+		obs.AddEvent(ctx, "retry")
+		obs.Count(ctx, obs.CtrRetries, 1)
 	}
 }
 

@@ -7,7 +7,15 @@ import (
 	"io"
 	"sort"
 	"time"
+
+	"guardedop/internal/obs"
 )
+
+// MetricsSchemaVersion identifies the JSON layout written by
+// Metrics.WriteJSON. Bump it on any breaking change to the document's
+// key set or field semantics; consumers of `gsueval -metrics json` pin
+// against it (see the golden schema test in cmd/gsueval).
+const MetricsSchemaVersion = 1
 
 // Metrics aggregates the observability counters of one batch run. RunBatch
 // always collects one into Report.Metrics; callers may fold in further
@@ -19,6 +27,9 @@ import (
 // runs after the worker pool has drained); it is not safe for concurrent
 // mutation.
 type Metrics struct {
+	// SchemaVersion is stamped by WriteJSON (MetricsSchemaVersion); it is
+	// zero on in-memory instances so Merge never has to reconcile versions.
+	SchemaVersion int `json:"schema_version,omitempty"`
 	// Attempts counts every fn invocation, including retries.
 	Attempts int64 `json:"attempts"`
 	// Retries counts the invocations beyond each item's first.
@@ -43,6 +54,13 @@ type Metrics struct {
 	// Checks carries model-verification counters keyed "model/check",
 	// e.g. "RMGd/reward-bounds".
 	Checks map[string]CheckCounters `json:"checks,omitempty"`
+	// Counters carries the named observability counters folded in from a
+	// run's obs.Tracer via AddTrace (solver passes, cache traffic,
+	// fallbacks, retries — see the obs.Ctr* vocabulary).
+	Counters map[string]int64 `json:"counters,omitempty"`
+	// Stages aggregates the run's trace spans by name: how many finished
+	// and their total wall clock, folded in via AddTrace.
+	Stages map[string]obs.StageStats `json:"stages,omitempty"`
 }
 
 // CheckCounters counts one static-analysis check's findings and how many
@@ -127,6 +145,30 @@ func (m *Metrics) AddSolves(n int64) {
 	m.Solves += n
 }
 
+// AddTrace folds a tracer's counters and per-stage span aggregates into
+// the metrics, accumulating across calls. A nil tracer is a no-op, so
+// untraced runs can call it unconditionally.
+func (m *Metrics) AddTrace(tr *obs.Tracer) {
+	if m == nil || tr == nil {
+		return
+	}
+	for name, v := range tr.Counters() {
+		if m.Counters == nil {
+			m.Counters = make(map[string]int64)
+		}
+		m.Counters[name] += v
+	}
+	for name, st := range tr.Stages() {
+		if m.Stages == nil {
+			m.Stages = make(map[string]obs.StageStats)
+		}
+		prev := m.Stages[name]
+		prev.Count += st.Count
+		prev.Nanos += st.Nanos
+		m.Stages[name] = prev
+	}
+}
+
 // Merge accumulates another run's counters into m. Per-item wall clocks
 // are appended, so merging reports of consecutive batches keeps every
 // item's timing.
@@ -154,6 +196,21 @@ func (m *Metrics) Merge(other *Metrics) {
 		prev.Findings += c.Findings
 		prev.Elided += c.Elided
 		m.Checks[key] = prev
+	}
+	for name, v := range other.Counters {
+		if m.Counters == nil {
+			m.Counters = make(map[string]int64)
+		}
+		m.Counters[name] += v
+	}
+	for name, st := range other.Stages {
+		if m.Stages == nil {
+			m.Stages = make(map[string]obs.StageStats)
+		}
+		prev := m.Stages[name]
+		prev.Count += st.Count
+		prev.Nanos += st.Nanos
+		m.Stages[name] = prev
 	}
 }
 
@@ -216,11 +273,65 @@ func (m *Metrics) WriteText(w io.Writer) {
 			fmt.Fprintf(w, "  %s: findings=%d elided=%d\n", k, c.Findings, c.Elided)
 		}
 	}
+	if len(m.Counters) > 0 {
+		keys := make([]string, 0, len(m.Counters))
+		for k := range m.Counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprint(w, "counters:")
+		for _, k := range keys {
+			fmt.Fprintf(w, " %s=%d", k, m.Counters[k])
+		}
+		fmt.Fprintln(w)
+	}
+	if len(m.Stages) > 0 {
+		keys := make([]string, 0, len(m.Stages))
+		for k := range m.Stages {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintln(w, "stages:")
+		for _, k := range keys {
+			st := m.Stages[k]
+			fmt.Fprintf(w, "  %s: count=%d wall=%v\n", k, st.Count, time.Duration(st.Nanos))
+		}
+	}
 }
 
-// WriteJSON renders the metrics as one indented JSON document.
+// WriteJSON renders the metrics as one indented JSON document, stamped
+// with MetricsSchemaVersion. The stamp goes on a shallow copy so the
+// in-memory instance stays version-free and mergeable.
 func (m *Metrics) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(m)
+	if m == nil {
+		return enc.Encode(m)
+	}
+	stamped := *m
+	stamped.SchemaVersion = MetricsSchemaVersion
+	return enc.Encode(&stamped)
+}
+
+// WriteProm renders the metrics' counters and stage aggregates in the
+// Prometheus text exposition format (see obs.WritePromText). Histogram
+// families require the run's tracer and are emitted by Tracer.WriteProm.
+func (m *Metrics) WriteProm(w io.Writer) error {
+	if m == nil {
+		return nil
+	}
+	counters := make(map[string]int64, len(m.Counters)+1)
+	for k, v := range m.Counters {
+		counters[k] = v
+	}
+	if m.Solves > 0 {
+		counters["batch.solves"] = m.Solves
+	}
+	counters["batch.attempts"] = m.Attempts
+	counters["batch.retries"] = m.Retries
+	counters["batch.panics"] = m.Panics
+	for class, n := range m.Errors {
+		counters["batch.errors."+class] = n
+	}
+	return obs.WritePromText(w, counters, m.Stages, nil)
 }

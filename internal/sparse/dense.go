@@ -65,10 +65,7 @@ func (m *Dense) Mul(other *Dense) *Dense {
 			if mik == 0 {
 				continue
 			}
-			bk := other.data[k*other.cols : (k+1)*other.cols]
-			for j, bkj := range bk {
-				oi[j] += mik * bkj
-			}
+			axpy(oi, mik, other.data[k*other.cols:(k+1)*other.cols])
 		}
 	}
 	return out
@@ -106,10 +103,7 @@ func (m *Dense) VecMul(dst, x []float64) {
 		if xr == 0 {
 			continue
 		}
-		row := m.RowSlice(r)
-		for c, v := range row {
-			dst[c] += xr * v
-		}
+		axpy(dst, xr, m.RowSlice(r))
 	}
 }
 

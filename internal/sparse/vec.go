@@ -30,8 +30,26 @@ func Axpy(dst []float64, alpha float64, x []float64) {
 	if len(dst) != len(x) {
 		panic("sparse: Axpy length mismatch")
 	}
-	for i, v := range x {
-		dst[i] += alpha * v
+	axpy(dst, alpha, x)
+}
+
+// axpy is the shared dst[i] += alpha*x[i] kernel behind Axpy, Dense.Mul
+// and Dense.VecMul. The 4-way unroll keeps the updates elementwise —
+// bit-identical to the scalar loop — while cutting loop overhead and
+// exposing four independent add chains; it is the hottest loop of the
+// dense expm path. Callers guarantee len(dst) >= len(x).
+func axpy(dst []float64, alpha float64, x []float64) {
+	dst = dst[:len(x)]
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		x0, x1, x2, x3 := x[i], x[i+1], x[i+2], x[i+3]
+		dst[i] += alpha * x0
+		dst[i+1] += alpha * x1
+		dst[i+2] += alpha * x2
+		dst[i+3] += alpha * x3
+	}
+	for ; i < len(x); i++ {
+		dst[i] += alpha * x[i]
 	}
 }
 
