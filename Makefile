@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race race-parallel lint fmt-check selfcheck modelcheck bench bench-curve repro coverage clean
+.PHONY: all build vet test test-short race race-parallel lint fmt-check selfcheck modelcheck serve-smoke bench bench-curve repro coverage clean
 
 all: build lint test
 
@@ -25,12 +25,19 @@ race:
 
 # Race-enabled full suite for the packages that run on the worker pool
 # (batch runner, posterior propagation, experiment suite) plus the trace
-# collector they all report into — exercises the parallel paths the short
-# suite skips.
+# collector they all report into, and the serving stack (coalescer,
+# sharded caches, limiter, drain) whose whole value is concurrency —
+# exercises the parallel paths the short suite skips.
 # (-timeout raised: the Monte-Carlo suites exceed go test's default 10m
 # under the race detector on small machines.)
 race-parallel:
-	$(GO) test -race -timeout 45m ./internal/robust ./internal/uncertainty ./internal/experiments ./internal/obs
+	$(GO) test -race -timeout 45m ./internal/robust ./internal/uncertainty ./internal/experiments ./internal/obs ./internal/serve
+
+# End-to-end daemon smoke: boot gsuserve race-instrumented, replay a
+# deterministic load script, force a saturation burst (429 + Retry-After,
+# zero 5xx), and SIGTERM-drain cleanly. See docs/SERVING.md.
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 # Static analysis gate: the domain linter (exit 1 on findings), go vet,
 # and a gofmt cleanliness check. See docs/STATIC_ANALYSIS.md.

@@ -257,11 +257,9 @@ func dumpMetrics(mode string, m *robust.Metrics, tr *obs.Tracer) error {
 	case "json":
 		return m.WriteJSON(os.Stderr)
 	case "prom":
-		if err := m.WriteProm(os.Stderr); err != nil {
-			return err
-		}
-		// Histogram families live only on the tracer.
-		return obs.WritePromText(os.Stderr, nil, nil, tr.Histograms())
+		// One shared exposition path (counters, stages, histograms) with
+		// the gsuserve /metrics endpoint — see robust.Metrics.WritePromWith.
+		return m.WritePromWith(os.Stderr, tr.Histograms())
 	default:
 		m.WriteText(os.Stderr)
 		return nil

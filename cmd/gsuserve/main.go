@@ -1,0 +1,160 @@
+// Command gsuserve is the performability-as-a-service daemon: it answers
+// Y(φ) curve, optimal-duration, and uncertainty-propagation queries over
+// HTTP, built for sustained load — identical concurrent queries coalesce
+// onto one solver run, answers are cached process-wide with size and TTL
+// bounds, saturation sheds new work with 429 + Retry-After instead of
+// piling it up, and SIGTERM drains every in-flight request before exit
+// (docs/SERVING.md).
+//
+// Usage:
+//
+//	gsuserve [-addr 127.0.0.1:8080] [-route-timeout 30s] [-workers 2]
+//	         [-max-concurrent 4] [-queue 8] [-retry-after 1s]
+//	         [-cache-capacity 512] [-cache-ttl 5m] [-cache-shards 8]
+//	         [-drain-timeout 30s] [-pprof host:port]
+//	gsuserve -loadgen -target http://host:port [-n 200] [-distinct 4]
+//	         [-seed 1] [-concurrency 8]
+//
+// Routes: POST/GET /v1/curve, /v1/optimize, /v1/propagate (JSON);
+// /healthz, /readyz, /metrics (Prometheus text).
+//
+// The -loadgen mode replays a deterministic generated load script
+// against a running daemon and prints the aggregate; it exits nonzero if
+// any request failed at the transport level or returned a 5xx, which is
+// what the CI smoke gate keys on.
+//
+// Exit codes: 0 clean serve/load run; 1 usage, listen, or load failure.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"guardedop/internal/obs"
+	"guardedop/internal/obs/pprofutil"
+	"guardedop/internal/serve"
+)
+
+// announce reports the bound listen address; a package variable so tests
+// can capture the dynamically chosen port of -addr host:0.
+var announce = func(addr string) {
+	log.Printf("gsuserve: listening on %s", addr)
+}
+
+func main() {
+	os.Exit(run(context.Background(), os.Args[1:]))
+}
+
+// run is the testable main: ctx plays the role of the process lifetime
+// (main hands it the signal-bound context's parent; tests cancel it to
+// simulate SIGTERM).
+func run(ctx context.Context, args []string) int {
+	fs := flag.NewFlagSet("gsuserve", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free one)")
+		routeTimeout = fs.Duration("route-timeout", 30*time.Second, "per-request solve budget; timeout_ms can tighten it")
+		workers      = fs.Int("workers", 2, "solver workers per request")
+		maxConc      = fs.Int("max-concurrent", 4, "solves running at once before new work queues")
+		queue        = fs.Int("queue", 8, "admitted requests that may wait for a slot; beyond this, shed")
+		retryAfter   = fs.Duration("retry-after", time.Second, "Retry-After hint on shed responses")
+		cacheCap     = fs.Int("cache-capacity", 512, "response cache entries")
+		cacheTTL     = fs.Duration("cache-ttl", 5*time.Minute, "response cache entry lifetime")
+		cacheShards  = fs.Int("cache-shards", 8, "cache lock shards")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight work")
+		pprofSpec    = fs.String("pprof", "", "profiling: cpu[=file], mem[=file], or host:port for net/http/pprof")
+
+		loadgen  = fs.Bool("loadgen", false, "replay a generated load script against -target instead of serving")
+		target   = fs.String("target", "", "base URL of the daemon to load (loadgen mode)")
+		n        = fs.Int("n", 200, "requests to issue (loadgen mode)")
+		distinct = fs.Int("distinct", 4, "distinct parameter sets in the script (loadgen mode)")
+		seed     = fs.Int64("seed", 1, "load script seed (loadgen mode)")
+		conc     = fs.Int("concurrency", 8, "parallel load clients (loadgen mode)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	if *pprofSpec != "" {
+		stop, err := pprofutil.StartPprof(*pprofSpec)
+		if err != nil {
+			log.Printf("gsuserve: %v", err)
+			return 1
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				log.Printf("gsuserve: %v", err)
+			}
+		}()
+	}
+
+	if *loadgen {
+		return runLoadgen(ctx, *target, *seed, *n, *distinct, *conc)
+	}
+
+	tracer := obs.NewTracer()
+	s := serve.New(serve.Config{
+		RouteTimeout: *routeTimeout,
+		Workers:      *workers,
+		Limiter: serve.LimiterConfig{
+			MaxConcurrent: *maxConc,
+			MaxQueue:      *queue,
+			RetryAfter:    *retryAfter,
+		},
+		ResponseCache: serve.CacheConfig{Shards: *cacheShards, Capacity: *cacheCap, TTL: *cacheTTL},
+		AnalyzerCache: serve.CacheConfig{Shards: *cacheShards},
+		Tracer:        tracer,
+	})
+	bound, err := s.Start(*addr)
+	if err != nil {
+		log.Printf("gsuserve: %v", err)
+		return 1
+	}
+	announce(bound)
+
+	// Serve until the process is told to stop (SIGTERM/SIGINT or the
+	// parent context), then drain: stop accepting, finish in-flight work.
+	sigCtx, stop := signal.NotifyContext(ctx, syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	<-sigCtx.Done()
+	log.Printf("gsuserve: draining (up to %v)", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), *drainTimeout)
+	defer cancel()
+	if err := s.Shutdown(dctx); err != nil {
+		log.Printf("gsuserve: drain: %v", err)
+		return 1
+	}
+	ctrs := tracer.Counters()
+	log.Printf("gsuserve: drained cleanly (%d requests, %d coalesced, %d shed, %d degraded)",
+		ctrs[obs.CtrServeRequests], ctrs[obs.CtrServeCoalesced], ctrs[obs.CtrServeShed], ctrs[obs.CtrServeDegraded])
+	return 0
+}
+
+// runLoadgen replays a deterministic script against target and prints
+// the aggregate report; nonzero exit on transport errors or any 5xx.
+func runLoadgen(ctx context.Context, target string, seed int64, n, distinct, conc int) int {
+	if target == "" {
+		log.Printf("gsuserve: -loadgen needs -target")
+		return 1
+	}
+	spec := serve.GenerateLoad(seed, n, distinct)
+	if conc > 0 {
+		spec.Concurrency = conc
+	}
+	report, err := serve.RunLoad(ctx, nil, target, spec)
+	if err != nil {
+		log.Printf("gsuserve: loadgen: %v", err)
+		return 1
+	}
+	fmt.Println(report)
+	if report.Transport > 0 || report.Errors5xx > 0 {
+		log.Printf("gsuserve: loadgen: %d transport errors, %d 5xx responses", report.Transport, report.Errors5xx)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeAndDrain boots the daemon on a free port, serves real
+// queries, then cancels the lifetime context (the SIGTERM path) and
+// asserts a clean exit with the listener closed.
+func TestServeAndDrain(t *testing.T) {
+	addrCh := make(chan string, 1)
+	orig := announce
+	announce = func(addr string) { addrCh <- addr }
+	defer func() { announce = orig }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "1", "-drain-timeout", "30s"})
+	}()
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never announced its address")
+	}
+
+	client := &http.Client{Timeout: time.Minute}
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := client.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if cerr := resp.Body.Close(); cerr != nil {
+			t.Fatal(cerr)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+	}
+	resp, err := client.Post(base+"/v1/curve", "application/json", strings.NewReader(`{"points":4}`))
+	if err != nil {
+		t.Fatalf("curve query: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"points_returned":5`) {
+		t.Fatalf("curve query = %d %s", resp.StatusCode, body)
+	}
+
+	cancel() // SIGTERM equivalent
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("daemon exited %d, want 0", code)
+		}
+	case <-time.After(time.Minute):
+		t.Fatal("daemon never drained")
+	}
+	if _, err := client.Get(base + "/healthz"); err == nil {
+		t.Error("drained daemon still accepting connections")
+	}
+}
+
+// TestLoadgenMode boots a daemon and replays a small generated script
+// against it through the -loadgen mode, asserting the clean-run exit.
+func TestLoadgenMode(t *testing.T) {
+	addrCh := make(chan string, 1)
+	orig := announce
+	announce = func(addr string) { addrCh <- addr }
+	defer func() { announce = orig }()
+
+	sctx, scancel := context.WithCancel(context.Background())
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run(sctx, []string{"-addr", "127.0.0.1:0", "-workers", "1", "-queue", "64"})
+	}()
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never announced its address")
+	}
+
+	lctx, lcancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer lcancel()
+	if code := run(lctx, []string{"-loadgen", "-target", base, "-n", "40", "-distinct", "2", "-seed", "9", "-concurrency", "8"}); code != 0 {
+		t.Fatalf("loadgen run exited %d, want 0", code)
+	}
+
+	scancel()
+	if code := <-exit; code != 0 {
+		t.Fatalf("daemon exited %d, want 0", code)
+	}
+}
+
+// TestLoadgenNeedsTarget pins the usage error path.
+func TestLoadgenNeedsTarget(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if code := run(ctx, []string{"-loadgen"}); code != 1 {
+		t.Fatalf("loadgen without target exited %d, want 1", code)
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -387,8 +388,11 @@ func (a *Analyzer) Curve(phis []float64) ([]Result, error) {
 // runner: a φ whose evaluation fails (degenerate measures, invariant
 // violation, non-finite solve) is skipped and recorded in the report
 // instead of aborting the sweep. The error is non-nil only when the
-// context is canceled or every point fails. Points are evaluated on a
-// worker pool using every core; use CurvePartialWorkers to bound it.
+// context is canceled or every point fails. A canceled sweep still
+// returns every point solved before the deadline in the PartialResult —
+// the completed prefix — alongside the ErrCanceled-wrapping error.
+// Points are evaluated on a worker pool using every core; use
+// CurvePartialWorkers to bound it.
 func (a *Analyzer) CurvePartial(ctx context.Context, phis []float64) (*robust.PartialResult[Result], error) {
 	return a.CurvePartialWorkers(ctx, phis, 0)
 }
@@ -418,6 +422,13 @@ func (a *Analyzer) curveBatch(ctx context.Context, phis []float64, strict bool, 
 // failed falls back to the point-wise path so only genuinely degenerate
 // durations fail. The report's metrics record the CTMC solver passes the
 // sweep spent (Metrics.Solves).
+//
+// A sweep whose context dies mid-way keeps its completed prefix: segments
+// solved before the deadline are still assembled (assembly is pure
+// arithmetic, so it runs detached from the cancellation), unreached
+// segments' points fail with ErrCanceled, and the batch error wraps
+// ErrCanceled so callers — gsueval's -timeout, gsuserve's per-request
+// deadlines — can serve the surviving points as a partial result.
 func (a *Analyzer) curveBatchPolicy(ctx context.Context, phis []float64, policy GammaPolicy, strict bool, workers int) (*robust.PartialResult[Result], error) {
 	// The solver-pass count is read off a context-carried scope, not a
 	// global-counter delta, so concurrent analyzers in the same process
@@ -427,10 +438,24 @@ func (a *Analyzer) curveBatchPolicy(ctx context.Context, phis []float64, policy 
 	defer sp.End()
 	sp.SetInt("points", int64(len(phis)))
 	pts := a.solveCurvePoints(ctx, phis, workers)
+	// Assembly folds already-solved measures into Results: microseconds of
+	// arithmetic per point, no solver passes. Running it on a context
+	// detached from the sweep's cancellation is what preserves the
+	// completed prefix; the detached context still carries the tracer and
+	// scope, so observability is unaffected.
+	actx := context.WithoutCancel(ctx)
 	// The strict curve keeps its historical fail-fast contract, which
 	// RunBatch guarantees by running StopOnError batches sequentially.
-	pr, err := robust.RunBatch(ctx, pts, func(ictx context.Context, pt solvedPoint) (Result, error) {
+	pr, err := robust.RunBatch(actx, pts, func(ictx context.Context, pt solvedPoint) (Result, error) {
 		if pt.err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				// The sweep's deadline has passed: re-solving the point
+				// through the fallback would ignore the cancellation.
+				if errors.Is(pt.err, robust.ErrCanceled) {
+					return Result{}, pt.err
+				}
+				return Result{}, fmt.Errorf("%w: %v (segment: %w)", robust.ErrCanceled, cerr, pt.err)
+			}
 			obs.AddEvent(ictx, "fallback_pointwise")
 			obs.Count(ictx, obs.CtrFallbackPoints, 1)
 			return a.evaluateCtx(ictx, pt.phi, policy)
@@ -438,6 +463,12 @@ func (a *Analyzer) curveBatchPolicy(ctx context.Context, phis []float64, policy 
 		return a.assemble(pt.phi, policy, pt.gdm, pt.pNewRem, pt.pOldRem)
 	}, robust.BatchOptions{StopOnError: strict, Workers: workers})
 	pr.Report.Metrics.AddSolves(scope.Counter(obs.CtrSolvePasses))
+	if err == nil && pr.Report.Failed() > 0 {
+		if cerr := ctx.Err(); cerr != nil {
+			err = fmt.Errorf("core: curve sweep canceled after %d/%d points: %w (%v)",
+				pr.Report.Succeeded(), len(phis), robust.ErrCanceled, cerr)
+		}
+	}
 	return pr, err
 }
 

@@ -19,10 +19,21 @@ import (
 // values to a miss and cache state (including eviction order) can never
 // change a result. The cache is bounded: beyond capacity the oldest entry
 // is evicted (FIFO), which is ideal for grid-plus-refinement access
-// patterns where old horizons are not revisited. Safe for concurrent use;
-// concurrent fills of distinct horizons serialize on one lock, which is
-// acceptable because the cached paths are the sequential ones (the curve
-// engine solves grids by shared propagation instead, see docs/PERFORMANCE.md).
+// patterns where old horizons are not revisited.
+//
+// Concurrency: the cache is safe for any number of concurrent readers and
+// fillers. One mutex guards the map, the FIFO order and the counters, and
+// it is deliberately held across a miss's fill solve — so concurrent
+// requests for the same horizon can never duplicate the solve (the second
+// arrival finds the entry filled), at the cost of serializing concurrent
+// fills of distinct horizons on the lock. That trade is right for both of
+// the cache's uses: the per-analyzer memo paths are sequential, and on
+// the gsuserve serving path (many requests sharing one cached analyzer,
+// see docs/SERVING.md) duplicate-solve suppression is exactly the
+// behaviour wanted under a thundering herd. Evicted entries are only
+// dropped from the map, never mutated, so vectors returned before an
+// eviction stay valid. TestSolveCacheConcurrentHammer exercises all of
+// this under the race detector.
 //
 // Returned slices are the cache's backing arrays: callers must treat them
 // as read-only.

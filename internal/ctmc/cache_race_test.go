@@ -1,0 +1,100 @@
+package ctmc
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"guardedop/internal/obs"
+)
+
+// TestSolveCacheConcurrentHammer drives one SolveCache from many
+// goroutines at once — the gsuserve serving path's access pattern, where
+// concurrent requests on the same parameter set share one analyzer and
+// therefore one set of memo caches. Run under -race (the short CI gate
+// covers this package) it verifies the single-mutex story documented on
+// SolveCache: concurrent lookups, fills of distinct horizons, and FIFO
+// evictions may interleave freely without a data race, every returned
+// vector is bit-identical to a fresh uncached solve, and the final
+// hit/miss/eviction accounting balances.
+func TestSolveCacheConcurrentHammer(t *testing.T) {
+	c := twoState(t, 1.5, 0.5)
+	pi0, _ := c.PointMass(0)
+
+	// Capacity below the horizon count forces evictions and refills while
+	// readers hold previously returned entries — the returned slices must
+	// stay valid (they are never mutated, only dropped from the map).
+	horizons := []float64{0.25, 0.5, 1, 2, 3, 4, 5, 8}
+	cache, err := NewSolveCache(c, pi0, len(horizons)/2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference solves, computed uncached up front.
+	wantPi := make(map[float64][]float64, len(horizons))
+	wantAcc := make(map[float64][]float64, len(horizons))
+	for _, h := range horizons {
+		pi, acc, err := c.transientAccumulated(context.Background(), pi0, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPi[h], wantAcc[h] = pi, acc
+	}
+
+	const (
+		workers       = 16
+		opsPerWorker  = 200
+		horizonStride = 3 // coprime with len(horizons): every worker visits all
+	)
+	tr := obs.NewTracer()
+	ctx := obs.WithTracer(context.Background(), tr)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for op := 0; op < opsPerWorker; op++ {
+				h := horizons[(w+op*horizonStride)%len(horizons)]
+				pi, acc, err := cache.TransientAccumulatedContext(ctx, h)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for i := range pi {
+					if pi[i] != wantPi[h][i] || acc[i] != wantAcc[h][i] {
+						t.Errorf("horizon %g: cached vector differs from fresh solve at state %d", h, i)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	snap := cache.Snapshot()
+	total := snap.Hits + snap.Misses
+	if total != workers*opsPerWorker {
+		t.Fatalf("hits+misses = %d, want %d lookups", total, workers*opsPerWorker)
+	}
+	if snap.Misses < uint64(len(horizons)) {
+		t.Errorf("misses = %d, want at least one per horizon (%d)", snap.Misses, len(horizons))
+	}
+	if snap.Len > len(horizons)/2 {
+		t.Errorf("cache holds %d entries, capacity is %d", snap.Len, len(horizons)/2)
+	}
+	if snap.Evictions != snap.Misses-uint64(snap.Len) {
+		t.Errorf("evictions = %d, want misses-len = %d", snap.Evictions, snap.Misses-uint64(snap.Len))
+	}
+	// The traced counters must agree with the cache's own accounting.
+	if got := uint64(tr.Counter(obs.CtrCacheHits)); got != snap.Hits {
+		t.Errorf("traced hits = %d, snapshot says %d", got, snap.Hits)
+	}
+	if got := uint64(tr.Counter(obs.CtrCacheMisses)); got != snap.Misses {
+		t.Errorf("traced misses = %d, snapshot says %d", got, snap.Misses)
+	}
+}

@@ -22,6 +22,37 @@ const (
 	CtrFallbackPoints = "core.fallback_points"
 	// CtrRetries counts batch-item retry attempts.
 	CtrRetries = "robust.retries"
+
+	// Serving-path counters (internal/serve, cmd/gsuserve). They share
+	// the dotted-vocabulary convention so the daemon's /metrics endpoint
+	// exposes them as gsu_serve_*_total next to the solver families.
+	//
+	// CtrServeRequests counts admitted API requests (shed requests are
+	// counted under CtrServeShed instead).
+	CtrServeRequests = "serve.requests"
+	// CtrServeCoalesced counts requests that joined another request's
+	// in-flight solve instead of starting their own (singleflight
+	// followers; the leader is not counted).
+	CtrServeCoalesced = "serve.coalesced"
+	// CtrServeShed counts requests rejected 429 by the admission queue.
+	CtrServeShed = "serve.shed"
+	// CtrServeDegraded counts requests answered with a partial
+	// ("degraded": true) result instead of a full one.
+	CtrServeDegraded = "serve.degraded"
+	// CtrServePanics counts handler panics recovered by the server's
+	// recovery middleware.
+	CtrServePanics = "serve.panics"
+	// CtrServeErrors counts admitted requests that ended in a non-2xx
+	// status other than shedding.
+	CtrServeErrors = "serve.errors"
+	// CtrServeCacheHits / CtrServeCacheMisses / CtrServeCacheEvictions /
+	// CtrServeCacheExpired count the process-wide sharded serving cache's
+	// traffic (analyzer reuse and whole-response reuse; distinct from the
+	// per-analyzer ctmc.cache.* solve memo).
+	CtrServeCacheHits      = "serve.cache.hits"
+	CtrServeCacheMisses    = "serve.cache.misses"
+	CtrServeCacheEvictions = "serve.cache.evictions"
+	CtrServeCacheExpired   = "serve.cache.expired"
 )
 
 // Attr is one key/value annotation on a span. Values are restricted to

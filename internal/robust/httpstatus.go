@@ -1,0 +1,58 @@
+package robust
+
+import (
+	"context"
+	"errors"
+	"net/http"
+)
+
+// httpStatusByClass is the deliberate mapping from every error class of
+// the taxonomy (the labels ErrorClass returns) to an HTTP status code.
+// The serving layer (cmd/gsuserve, internal/serve) uses it to turn solver
+// failures into stable, documented statuses instead of a blanket 500:
+//
+//   - "canceled" → 504: the request's deadline expired before the solve
+//     finished; the client may retry with a longer budget.
+//   - "invariant", "non-finite", "ill-conditioned" → 422: the parameter
+//     set drove the translation into a degenerate region — the request is
+//     well-formed but unprocessable, and retrying it is pointless.
+//   - "too-many-failures" → 422: most of a propagation's posterior draws
+//     landed in a degenerate region, same verdict as above.
+//   - "not-converged" → 500: the solver exhausted its iteration budget on
+//     a model it should handle — a genuine server-side numeric failure.
+//   - "panic" → 500: a recovered programmer error.
+//   - "other" → 500: a failure outside the taxonomy.
+//
+// Every known class appears here explicitly — the table test in
+// httpstatus_test.go fails the build if a class is added to the taxonomy
+// without a deliberate entry, so no known failure ever reaches clients
+// through an accidental default-500 fallthrough.
+var httpStatusByClass = map[string]int{
+	"canceled":          http.StatusGatewayTimeout,
+	"invariant":         http.StatusUnprocessableEntity,
+	"non-finite":        http.StatusUnprocessableEntity,
+	"ill-conditioned":   http.StatusUnprocessableEntity,
+	"too-many-failures": http.StatusUnprocessableEntity,
+	"not-converged":     http.StatusInternalServerError,
+	"panic":             http.StatusInternalServerError,
+	"other":             http.StatusInternalServerError,
+}
+
+// HTTPStatus maps an error from the solve stack onto its HTTP status
+// code via the taxonomy (see ErrorClass and httpStatusByClass). Wrapped
+// causes are honoured through errors.Is; a bare context cancellation or
+// deadline that never passed through the taxonomy still maps to 504. A
+// nil error is 200.
+func HTTPStatus(err error) int {
+	if err == nil {
+		return http.StatusOK
+	}
+	class := ErrorClass(err)
+	if class == "other" && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		class = "canceled"
+	}
+	if code, ok := httpStatusByClass[class]; ok {
+		return code
+	}
+	return http.StatusInternalServerError
+}

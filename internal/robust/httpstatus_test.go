@@ -1,0 +1,82 @@
+package robust
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"testing"
+)
+
+// taxonomy lists every sentinel error of the robustness taxonomy. Keep it
+// in sync with errors.go — TestHTTPStatusCoversTaxonomy walks it to prove
+// the status mapping is total.
+var taxonomy = []error{
+	ErrNonFinite,
+	ErrNotConverged,
+	ErrIllConditioned,
+	ErrCanceled,
+	ErrInvariant,
+	ErrPanic,
+	ErrTooManyFailures,
+}
+
+// TestHTTPStatusCoversTaxonomy asserts that every typed error in the
+// taxonomy maps to a deliberate status: its ErrorClass label must have an
+// explicit entry in httpStatusByClass, so no known class can ever fall
+// through to the generic 500 by accident.
+func TestHTTPStatusCoversTaxonomy(t *testing.T) {
+	for _, sentinel := range taxonomy {
+		class := ErrorClass(sentinel)
+		if class == "" || class == "other" {
+			t.Errorf("sentinel %v has no taxonomy class of its own (got %q)", sentinel, class)
+			continue
+		}
+		if _, ok := httpStatusByClass[class]; !ok {
+			t.Errorf("class %q (sentinel %v) has no deliberate HTTP status entry", class, sentinel)
+		}
+	}
+	// The fallthrough class itself must also be a deliberate decision.
+	if _, ok := httpStatusByClass["other"]; !ok {
+		t.Error(`class "other" has no deliberate HTTP status entry`)
+	}
+}
+
+// TestHTTPStatusMapping pins the chosen status for each class, wrapped
+// the way the solve stack actually delivers errors.
+func TestHTTPStatusMapping(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, http.StatusOK},
+		{"canceled", fmt.Errorf("sweep: %w", ErrCanceled), http.StatusGatewayTimeout},
+		{"context deadline", context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{"context canceled", fmt.Errorf("rq: %w", context.Canceled), http.StatusGatewayTimeout},
+		{"invariant", Diagnose("core.Analyzer", nil, 100, ErrInvariant), http.StatusUnprocessableEntity},
+		{"non-finite", fmt.Errorf("solve: %w", ErrNonFinite), http.StatusUnprocessableEntity},
+		{"ill-conditioned", fmt.Errorf("lu: %w", ErrIllConditioned), http.StatusUnprocessableEntity},
+		{"too-many-failures", fmt.Errorf("propagate: %w", ErrTooManyFailures), http.StatusUnprocessableEntity},
+		{"not-converged", fmt.Errorf("uniformization: %w", ErrNotConverged), http.StatusInternalServerError},
+		{"panic", fmt.Errorf("item: %w", ErrPanic), http.StatusInternalServerError},
+		{"unclassified", errors.New("disk on fire"), http.StatusInternalServerError},
+		{"diagnostic wrap", Diagnose("RMGd", nil, math.NaN(), fmt.Errorf("x: %w", ErrCanceled)), http.StatusGatewayTimeout},
+	}
+	for _, c := range cases {
+		if got := HTTPStatus(c.err); got != c.want {
+			t.Errorf("%s: HTTPStatus(%v) = %d, want %d", c.name, c.err, got, c.want)
+		}
+	}
+}
+
+// TestHTTPStatusClassPrecedence mirrors ErrorClass precedence: an error
+// wrapping both a cancellation and a transient cause (the mid-retry
+// cancellation shape) must map as a cancellation, not as the cause.
+func TestHTTPStatusClassPrecedence(t *testing.T) {
+	err := fmt.Errorf("%w: deadline (interrupted retry of: %w)", ErrCanceled, ErrNotConverged)
+	if got := HTTPStatus(err); got != http.StatusGatewayTimeout {
+		t.Fatalf("cancellation wrapping a transient cause mapped to %d, want 504", got)
+	}
+}

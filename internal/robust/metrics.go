@@ -315,12 +315,22 @@ func (m *Metrics) WriteJSON(w io.Writer) error {
 
 // WriteProm renders the metrics' counters and stage aggregates in the
 // Prometheus text exposition format (see obs.WritePromText). Histogram
-// families require the run's tracer and are emitted by Tracer.WriteProm.
+// families require the run's tracer; use WritePromWith to emit them in
+// the same exposition.
 func (m *Metrics) WriteProm(w io.Writer) error {
+	return m.WritePromWith(w, nil)
+}
+
+// WritePromWith is WriteProm plus the run's span-duration histogram
+// families (obtained from the tracer via Tracer.Histograms). It is the
+// single Prometheus exposition path shared by `gsueval -metrics prom`
+// and the gsuserve /metrics endpoint: one call, one formatter
+// (obs.WritePromText), identical family naming everywhere.
+func (m *Metrics) WritePromWith(w io.Writer, hists map[string]obs.HistSnapshot) error {
 	if m == nil {
-		return nil
+		return obs.WritePromText(w, nil, nil, hists)
 	}
-	counters := make(map[string]int64, len(m.Counters)+1)
+	counters := make(map[string]int64, len(m.Counters)+4+len(m.Errors))
 	for k, v := range m.Counters {
 		counters[k] = v
 	}
@@ -333,5 +343,5 @@ func (m *Metrics) WriteProm(w io.Writer) error {
 	for class, n := range m.Errors {
 		counters["batch.errors."+class] = n
 	}
-	return obs.WritePromText(w, counters, m.Stages, nil)
+	return obs.WritePromText(w, counters, m.Stages, hists)
 }

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"guardedop/internal/robust"
+)
+
+// Coalescer deduplicates concurrent identical work: callers asking for
+// the same key while a solve for that key is in flight share its single
+// result instead of starting their own (singleflight). It is the piece
+// that makes a thundering herd of the paper-grid query cost one solver
+// run.
+//
+// The leader's function runs on a context derived from the Coalescer's
+// base context (the server lifecycle), not from any one request: an
+// impatient client hanging up must not abort the solve that other,
+// patient clients are waiting on. Each waiter still honours its own
+// request context — a waiter whose deadline expires leaves with
+// robust.ErrCanceled while the flight keeps going. Only when every
+// waiter has left is the flight's context canceled, so work nobody wants
+// anymore stops.
+type Coalescer[V any] struct {
+	base context.Context
+
+	mu       sync.Mutex
+	inflight map[string]*flight[V]
+}
+
+// flight is one in-progress shared computation.
+type flight[V any] struct {
+	done    chan struct{} // closed when val/err are set
+	cancel  context.CancelFunc
+	waiters int
+	val     V
+	err     error
+}
+
+// NewCoalescer returns a Coalescer whose flights derive from base (use
+// the server's lifecycle context; context.Background() in tests). A nil
+// base means context.Background().
+func NewCoalescer[V any](base context.Context) *Coalescer[V] {
+	if base == nil {
+		base = context.Background()
+	}
+	return &Coalescer[V]{base: base, inflight: make(map[string]*flight[V])}
+}
+
+// Do returns the result of fn for key, coalescing concurrent calls:
+// exactly one caller (the leader) runs fn; the rest (followers, reported
+// by shared=true) wait for the leader's result. fn receives a context
+// derived from the Coalescer's base that is canceled once every caller
+// waiting on the flight has gone away.
+//
+// ctx governs only this caller's wait: if it ends first, Do returns
+// ctx's cause wrapped in robust.ErrCanceled and the flight continues for
+// the remaining waiters. A finished flight is immediately forgotten, so
+// a later identical request re-runs fn (response reuse across time is
+// the cache's job, not the Coalescer's).
+func (c *Coalescer[V]) Do(ctx context.Context, key string, fn func(context.Context) (V, error)) (v V, shared bool, err error) {
+	c.mu.Lock()
+	f, ok := c.inflight[key]
+	if ok {
+		f.waiters++
+		c.mu.Unlock()
+		return c.wait(ctx, key, f, true)
+	}
+	fctx, cancel := context.WithCancel(c.base)
+	f = &flight[V]{done: make(chan struct{}), cancel: cancel, waiters: 1}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	go func() {
+		val, ferr := fn(fctx)
+		c.mu.Lock()
+		f.val, f.err = val, ferr
+		// Forget the flight while still holding the lock, so a request
+		// arriving after completion starts a fresh flight instead of
+		// reading a stale one.
+		if c.inflight[key] == f {
+			delete(c.inflight, key)
+		}
+		c.mu.Unlock()
+		close(f.done)
+		cancel()
+	}()
+	return c.wait(ctx, key, f, false)
+}
+
+// wait blocks until the flight resolves or the caller's own context
+// ends, maintaining the flight's waiter count.
+func (c *Coalescer[V]) wait(ctx context.Context, key string, f *flight[V], shared bool) (V, bool, error) {
+	defer func() {
+		c.mu.Lock()
+		f.waiters--
+		abandoned := f.waiters == 0
+		if abandoned && c.inflight[key] == f {
+			delete(c.inflight, key)
+		}
+		c.mu.Unlock()
+		if abandoned {
+			// Last waiter gone: stop the flight's work. Harmless when the
+			// flight already finished (cancel is idempotent).
+			f.cancel()
+		}
+	}()
+	select {
+	case <-f.done:
+		return f.val, shared, f.err
+	case <-ctx.Done():
+		var zero V
+		return zero, shared, fmt.Errorf("%w: %v", robust.ErrCanceled, ctx.Err())
+	}
+}
+
+// InFlight returns the number of keys currently being computed, for
+// tests and the stats endpoint.
+func (c *Coalescer[V]) InFlight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.inflight)
+}

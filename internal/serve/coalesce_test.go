@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"guardedop/internal/robust"
+)
+
+// waiters reads the current waiter count of key's flight (white-box).
+func waiters[V any](c *Coalescer[V], key string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f := c.inflight[key]; f != nil {
+		return f.waiters
+	}
+	return 0
+}
+
+// waitForWaiters blocks until key's flight has n waiters attached.
+func waitForWaiters[V any](t *testing.T, c *Coalescer[V], key string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for waiters(c, key) != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("flight %q never reached %d waiters (have %d)", key, n, waiters(c, key))
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestCoalesceShares asserts the singleflight core: n concurrent callers
+// of one key observe exactly one fn run and the same value.
+func TestCoalesceShares(t *testing.T) {
+	t.Parallel()
+	c := NewCoalescer[int](context.Background())
+	var runs atomic.Int64
+	gate := make(chan struct{})
+	const n = 64
+	var wg sync.WaitGroup
+	results := make([]int, n)
+	sharedCount := atomic.Int64{}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, shared, err := c.Do(context.Background(), "k", func(context.Context) (int, error) {
+				runs.Add(1)
+				<-gate // hold the flight open until every caller has joined or run
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Wait until all callers are attached to the one flight, then release.
+	waitForWaiters(t, c, "k", n)
+	close(gate)
+	wg.Wait()
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want exactly 1", got)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("caller %d got %d, want 42", i, v)
+		}
+	}
+	if sharedCount.Load() != n-1 {
+		t.Errorf("shared reported by %d callers, want %d followers", sharedCount.Load(), n-1)
+	}
+	if c.InFlight() != 0 {
+		t.Errorf("finished flight not forgotten: InFlight() = %d", c.InFlight())
+	}
+}
+
+// TestCoalesceWaiterCancelLeavesFlight asserts an impatient caller's exit
+// does not abort the flight other callers wait on.
+func TestCoalesceWaiterCancelLeavesFlight(t *testing.T) {
+	t.Parallel()
+	c := NewCoalescer[string](context.Background())
+	gate := make(chan struct{})
+	flightCtxErr := make(chan error, 1)
+
+	// Patient leader in the background.
+	type outcome struct {
+		v   string
+		err error
+	}
+	leaderDone := make(chan outcome, 1)
+	go func() {
+		v, _, err := c.Do(context.Background(), "k", func(fctx context.Context) (string, error) {
+			<-gate
+			flightCtxErr <- fctx.Err()
+			return "answer", nil
+		})
+		leaderDone <- outcome{v, err}
+	}()
+	for c.InFlight() != 1 {
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	// Impatient follower with an already-short deadline.
+	wctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, shared, err := c.Do(wctx, "k", func(context.Context) (string, error) {
+		t.Error("follower must not start a second flight")
+		return "", nil
+	})
+	if !shared {
+		t.Error("follower not reported as shared")
+	}
+	if !errors.Is(err, robust.ErrCanceled) {
+		t.Fatalf("canceled waiter error = %v, want robust.ErrCanceled", err)
+	}
+
+	close(gate)
+	got := <-leaderDone
+	if got.err != nil || got.v != "answer" {
+		t.Fatalf("leader got (%q, %v), want (answer, nil)", got.v, got.err)
+	}
+	if ferr := <-flightCtxErr; ferr != nil {
+		t.Fatalf("flight context canceled by departing waiter: %v", ferr)
+	}
+}
+
+// TestCoalesceAbandonedFlightCanceled asserts the flight's context dies
+// once every waiter has left, so work nobody wants stops.
+func TestCoalesceAbandonedFlightCanceled(t *testing.T) {
+	t.Parallel()
+	c := NewCoalescer[int](context.Background())
+	started := make(chan struct{})
+	flightDone := make(chan error, 1)
+	wctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		_, _, _ = c.Do(wctx, "k", func(fctx context.Context) (int, error) {
+			close(started)
+			<-fctx.Done() // blocks until abandoned
+			flightDone <- fctx.Err()
+			return 0, fctx.Err()
+		})
+	}()
+	<-started
+	cancel() // sole waiter leaves
+	select {
+	case err := <-flightDone:
+		if err == nil {
+			t.Fatal("flight context not canceled")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("abandoned flight never saw cancellation")
+	}
+}
+
+// TestCoalesceSequentialRuns asserts temporal (non-concurrent) calls each
+// run fn — reuse across time is the cache's job, not the coalescer's.
+func TestCoalesceSequentialRuns(t *testing.T) {
+	t.Parallel()
+	c := NewCoalescer[int](context.Background())
+	runs := 0
+	for i := 0; i < 3; i++ {
+		v, shared, err := c.Do(context.Background(), "k", func(context.Context) (int, error) {
+			runs++
+			return runs, nil
+		})
+		if err != nil || shared || v != i+1 {
+			t.Fatalf("call %d: (v=%d shared=%v err=%v), want fresh run %d", i, v, shared, err, i+1)
+		}
+	}
+}
+
+// TestCoalesceErrorShared asserts a failing flight shares its error with
+// every waiter instead of retrying per caller.
+func TestCoalesceErrorShared(t *testing.T) {
+	t.Parallel()
+	c := NewCoalescer[int](context.Background())
+	sentinel := errors.New("solve failed")
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	var runs atomic.Int64
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = c.Do(context.Background(), "k", func(context.Context) (int, error) {
+				runs.Add(1)
+				<-gate
+				return 0, sentinel
+			})
+		}(i)
+	}
+	waitForWaiters(t, c, "k", len(errs))
+	close(gate)
+	wg.Wait()
+	if runs.Load() != 1 {
+		t.Fatalf("fn ran %d times, want 1", runs.Load())
+	}
+	for i, err := range errs {
+		if !errors.Is(err, sentinel) {
+			t.Errorf("caller %d error = %v, want shared sentinel", i, err)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+// Package serve is the performability-as-a-service layer behind cmd/gsuserve:
+// a long-running stdlib net/http daemon answering Y(φ) curve, φ*
+// optimization, and uncertainty-propagation queries as JSON API requests
+// (docs/SERVING.md).
+//
+// The package is organised as small, independently tested robustness
+// pieces that the Server composes:
+//
+//   - coalesce.go — request coalescing: identical in-flight parameter
+//     sets share one solve (singleflight keyed on a canonical params
+//     hash), so a thundering herd of the paper-grid query costs one
+//     solver run.
+//   - cache.go — a sharded, process-wide cache with size and TTL bounds,
+//     holding both built analyzers (keyed by parameter set) and whole
+//     responses (keyed by full request), with hit/miss/eviction counters
+//     wired into internal/obs.
+//   - limiter.go — load shedding: a bounded admission queue plus a
+//     concurrency limiter; under saturation new work is rejected 429
+//     with Retry-After while admitted work runs to completion.
+//   - handlers.go — the API routes, threading each request's context
+//     (server-enforced per-route deadline) into the solver stack and
+//     degrading to partial curve results instead of failing whole
+//     requests when the deadline lands mid-sweep.
+//   - server.go — lifecycle: /healthz, /readyz (flips unready during
+//     drain), panic-recovery middleware, robust error-taxonomy → HTTP
+//     status mapping (robust.HTTPStatus), graceful drain.
+//   - loadgen.go — a replayable, seeded load generator for benchmarks
+//     and the CI smoke test.
+package serve

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"guardedop/internal/robust"
+)
+
+// ErrShed marks a request rejected by admission control: the concurrency
+// slots are busy and the bounded wait queue is full. The HTTP layer maps
+// it to 429 with a Retry-After header. It is deliberately outside the
+// robust solver taxonomy — shedding is the server protecting itself, not
+// a solve failing.
+var ErrShed = errors.New("request shed: server saturated")
+
+// Limiter is the server's admission control: at most MaxConcurrent
+// requests solve at once, at most MaxQueue more wait for a slot, and
+// everything beyond that is shed immediately with ErrShed instead of
+// piling up unboundedly. Under saturation the daemon therefore keeps two
+// promises: admitted work always runs to completion (a queued request is
+// never evicted), and new work fails fast with an honest retry hint
+// rather than hanging until its client gives up.
+type Limiter struct {
+	slots      chan struct{}
+	queued     atomic.Int64
+	maxQueue   int64
+	active     atomic.Int64
+	retryAfter time.Duration
+}
+
+// LimiterConfig bounds a Limiter.
+type LimiterConfig struct {
+	// MaxConcurrent is the number of requests solving at once (default 4).
+	MaxConcurrent int
+	// MaxQueue is how many admitted requests may wait for a slot beyond
+	// the concurrent ones (default 2 × MaxConcurrent). Zero means the
+	// default; negative means no queueing (immediate shed when busy).
+	MaxQueue int
+	// RetryAfter is the hint returned with shed responses (default 1s).
+	RetryAfter time.Duration
+}
+
+// NewLimiter builds a Limiter.
+func NewLimiter(cfg LimiterConfig) *Limiter {
+	if cfg.MaxConcurrent < 1 {
+		cfg.MaxConcurrent = 4
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 2 * cfg.MaxConcurrent
+	}
+	if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 0
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	return &Limiter{
+		slots:      make(chan struct{}, cfg.MaxConcurrent),
+		maxQueue:   int64(cfg.MaxQueue),
+		retryAfter: cfg.RetryAfter,
+	}
+}
+
+// Acquire admits the request or sheds it. On success the caller owns one
+// concurrency slot and must call the returned release exactly once. On
+// saturation it returns ErrShed without blocking; while queued, a caller
+// whose context ends leaves the queue with robust.ErrCanceled.
+func (l *Limiter) Acquire(ctx context.Context) (release func(), err error) {
+	// Fast path: a free slot, no queueing.
+	select {
+	case l.slots <- struct{}{}:
+		l.active.Add(1)
+		return l.release, nil
+	default:
+	}
+	// Slots busy: join the bounded queue or shed. The reservation is a
+	// simple counter — FIFO fairness among queued waiters is delegated to
+	// the runtime's channel wait queue, which is fair enough for a
+	// shedding tier.
+	if q := l.queued.Add(1); q > l.maxQueue {
+		l.queued.Add(-1)
+		return nil, ErrShed
+	}
+	defer l.queued.Add(-1)
+	select {
+	case l.slots <- struct{}{}:
+		l.active.Add(1)
+		return l.release, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("%w: gave up waiting for a solve slot: %v", robust.ErrCanceled, ctx.Err())
+	}
+}
+
+// release frees the caller's slot.
+func (l *Limiter) release() {
+	l.active.Add(-1)
+	<-l.slots
+}
+
+// RetryAfter returns the shed-response retry hint.
+func (l *Limiter) RetryAfter() time.Duration { return l.retryAfter }
+
+// Active returns the number of requests currently holding a slot.
+func (l *Limiter) Active() int64 { return l.active.Load() }
+
+// Queued returns the number of requests currently waiting for a slot.
+func (l *Limiter) Queued() int64 { return l.queued.Load() }

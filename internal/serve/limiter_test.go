@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"guardedop/internal/robust"
+)
+
+func TestLimiterFastPath(t *testing.T) {
+	t.Parallel()
+	l := NewLimiter(LimiterConfig{MaxConcurrent: 2})
+	r1, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("first Acquire: %v", err)
+	}
+	r2, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("second Acquire: %v", err)
+	}
+	if got := l.Active(); got != 2 {
+		t.Errorf("Active() = %d, want 2", got)
+	}
+	r1()
+	r2()
+	if got := l.Active(); got != 0 {
+		t.Errorf("Active() after release = %d, want 0", got)
+	}
+}
+
+// TestLimiterShedsBeyondQueue fills the slots and the queue, then asserts
+// the next arrival is shed immediately with ErrShed.
+func TestLimiterShedsBeyondQueue(t *testing.T) {
+	t.Parallel()
+	l := NewLimiter(LimiterConfig{MaxConcurrent: 1, MaxQueue: 1})
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	// One queued waiter.
+	queued := make(chan error, 1)
+	go func() {
+		r, err := l.Acquire(context.Background())
+		if err == nil {
+			defer r()
+		}
+		queued <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for l.Queued() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	// Queue full: the next arrival is shed without blocking.
+	if _, err := l.Acquire(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("saturated Acquire error = %v, want ErrShed", err)
+	}
+	// Admitted work still completes: releasing the slot admits the waiter.
+	release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued waiter failed: %v", err)
+	}
+}
+
+// TestLimiterQueuedCancel asserts a queued waiter whose context ends
+// leaves with robust.ErrCanceled and frees its queue reservation.
+func TestLimiterQueuedCancel(t *testing.T) {
+	t.Parallel()
+	l := NewLimiter(LimiterConfig{MaxConcurrent: 1, MaxQueue: 2})
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		_, err := l.Acquire(ctx)
+		got <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for l.Queued() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+	if err := <-got; !errors.Is(err, robust.ErrCanceled) {
+		t.Fatalf("canceled waiter error = %v, want robust.ErrCanceled", err)
+	}
+	for l.Queued() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue reservation leaked after cancel")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestLimiterAdmittedWorkCompletes hammers the limiter: every admitted
+// acquire must eventually run while shed ones fail fast, and the
+// concurrency bound must never be exceeded (checked under -race).
+func TestLimiterAdmittedWorkCompletes(t *testing.T) {
+	t.Parallel()
+	const maxConc = 3
+	l := NewLimiter(LimiterConfig{MaxConcurrent: maxConc, MaxQueue: 4})
+	var mu sync.Mutex
+	cur, peak, admitted, shed := 0, 0, 0, 0
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := l.Acquire(context.Background())
+			if err != nil {
+				if !errors.Is(err, ErrShed) {
+					t.Errorf("Acquire error = %v, want nil or ErrShed", err)
+				}
+				mu.Lock()
+				shed++
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			cur++
+			if cur > peak {
+				peak = cur
+			}
+			admitted++
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			cur--
+			mu.Unlock()
+			release()
+		}()
+	}
+	wg.Wait()
+	if peak > maxConc {
+		t.Errorf("peak concurrency %d exceeds bound %d", peak, maxConc)
+	}
+	if admitted+shed != 64 {
+		t.Errorf("admitted %d + shed %d != 64", admitted, shed)
+	}
+	if admitted < maxConc {
+		t.Errorf("admitted %d, want at least %d", admitted, maxConc)
+	}
+	if l.Active() != 0 || l.Queued() != 0 {
+		t.Errorf("limiter not drained: active %d queued %d", l.Active(), l.Queued())
+	}
+}

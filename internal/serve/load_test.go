@@ -1,0 +1,317 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"guardedop/internal/obs"
+)
+
+// TestThousandCoalescedQueries is the coalescing acceptance test: a
+// thousand concurrent identical curve queries must all succeed while the
+// solver runs exactly once — every other request is served by the flight
+// (coalesced) or the response cache, never by a duplicate solve.
+func TestThousandCoalescedQueries(t *testing.T) {
+	t.Parallel()
+	tr := obs.NewTracer()
+	s := New(Config{Tracer: tr})
+	h := s.Handler()
+	const n = 1000
+	body := `{"points":20}`
+	codes := make([]int, n)
+	bodies := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec := hit(h, http.MethodPost, "/v1/curve", body)
+			codes[i] = rec.Code
+			bodies[i] = rec.Body.String()
+		}(i)
+	}
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("request %d: status %d, body %s", i, code, bodies[i])
+		}
+		if bodies[i] != bodies[0] {
+			t.Fatalf("request %d: response differs from request 0 — cache or flight corruption", i)
+		}
+	}
+	// Exactly one underlying solver run for the one unique parameter set.
+	if got := tr.Stages()["core.curve"].Count; got != 1 {
+		t.Fatalf("core.curve ran %d times for %d identical queries, want exactly 1", got, n)
+	}
+	ctrs := tr.Counters()
+	if ctrs[obs.CtrServeRequests] != n {
+		t.Errorf("serve.requests = %d, want %d", ctrs[obs.CtrServeRequests], n)
+	}
+	// Every non-leader request was either coalesced onto the flight or
+	// served from the response cache.
+	served := ctrs[obs.CtrServeCoalesced] + ctrs[obs.CtrServeCacheHits]
+	if served < n-1 {
+		t.Errorf("coalesced (%d) + cache hits (%d) = %d, want >= %d",
+			ctrs[obs.CtrServeCoalesced], ctrs[obs.CtrServeCacheHits], served, n-1)
+	}
+	if ctrs[obs.CtrServeShed] != 0 || ctrs[obs.CtrServeErrors] != 0 {
+		t.Errorf("shed %d errors %d, want 0/0", ctrs[obs.CtrServeShed], ctrs[obs.CtrServeErrors])
+	}
+}
+
+// TestSaturationBurstSheds is the load-shedding acceptance test: a burst
+// of distinct queries against a deliberately tiny limiter must shed with
+// 429 + Retry-After, never 5xx, while every admitted request completes.
+func TestSaturationBurstSheds(t *testing.T) {
+	t.Parallel()
+	tr := obs.NewTracer()
+	s := New(Config{
+		Tracer:  tr,
+		Workers: 1,
+		Limiter: LimiterConfig{MaxConcurrent: 1, MaxQueue: 1},
+	})
+	h := s.Handler()
+	// Each distinct solve must outlast a scheduler quantum (~10ms), so
+	// that even on one core the burst genuinely overlaps at the limiter
+	// instead of running back-to-back between preemption points.
+	const n, points = 32, 600
+	type outcome struct {
+		code       int
+		retryAfter string
+		body       string
+	}
+	outcomes := make([]outcome, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct λ per request: no coalescing, every request is new work.
+			body := fmt.Sprintf(`{"params":{"lambda":%g},"points":%d}`, (1.0/48.0)*(1+float64(i)/100), points)
+			rec := hit(h, http.MethodPost, "/v1/curve", body)
+			outcomes[i] = outcome{rec.Code, rec.Header().Get("Retry-After"), rec.Body.String()}
+		}(i)
+	}
+	wg.Wait()
+	var ok200, shed429 int
+	for i, o := range outcomes {
+		switch o.code {
+		case http.StatusOK:
+			ok200++
+			if !strings.Contains(o.body, fmt.Sprintf(`"points_returned":%d`, points+1)) {
+				t.Errorf("admitted request %d returned an incomplete curve: %s", i, o.body[:min(120, len(o.body))])
+			}
+		case http.StatusTooManyRequests:
+			shed429++
+			if o.retryAfter == "" {
+				t.Errorf("shed request %d missing Retry-After", i)
+			}
+			if !strings.Contains(o.body, `"class":"shed"`) {
+				t.Errorf("shed request %d body = %s", i, o.body)
+			}
+		default:
+			t.Errorf("request %d: status %d (body %s) — saturation must never 5xx", i, o.code, o.body)
+		}
+	}
+	if shed429 == 0 {
+		t.Error("no request shed: the burst did not saturate the limiter")
+	}
+	if ok200 == 0 {
+		t.Error("no request admitted")
+	}
+	if got := tr.Counters()[obs.CtrServeShed]; got != int64(shed429) {
+		t.Errorf("serve.shed = %d, but %d requests saw 429", got, shed429)
+	}
+	if got := tr.Counters()[obs.CtrServeErrors]; got != 0 {
+		t.Errorf("serve.errors = %d under saturation, want 0", got)
+	}
+}
+
+// TestGracefulDrain is the SIGTERM acceptance test over a real listener:
+// requests in flight when Shutdown begins — including work still queued
+// at the limiter — all complete; none are dropped.
+func TestGracefulDrain(t *testing.T) {
+	t.Parallel()
+	tr := obs.NewTracer()
+	s := New(Config{
+		Tracer:  tr,
+		Workers: 1,
+		Limiter: LimiterConfig{MaxConcurrent: 2, MaxQueue: 8},
+	})
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+	client := &http.Client{Timeout: 2 * time.Minute}
+
+	const n = 8
+	codes := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			// Slow enough (~tens of ms each, distinct params) that the
+			// batch is still solving when the drain begins.
+			body := fmt.Sprintf(`{"params":{"lambda":%g},"points":600}`, (1.0/48.0)*(1+float64(i)/50))
+			req, err := http.NewRequest(http.MethodPost, base+"/v1/curve", strings.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				codes <- -1
+				return
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				t.Errorf("request %d dropped during drain: %v", i, err)
+				codes <- -1
+				return
+			}
+			if cerr := resp.Body.Close(); cerr != nil {
+				t.Error(cerr)
+			}
+			codes <- resp.StatusCode
+		}(i)
+	}
+
+	// Wait until every request has made it into a handler — past the
+	// listener, so closing it cannot refuse any of them — then begin the
+	// drain while the batch is still solving.
+	deadline := time.Now().Add(30 * time.Second)
+	for tr.Counters()[obs.CtrServeRequests] < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d requests reached a handler", tr.Counters()[obs.CtrServeRequests], n)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := s.Shutdown(sctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if !s.Draining() {
+		t.Error("server not marked draining after Shutdown")
+	}
+
+	for i := 0; i < n; i++ {
+		if code := <-codes; code != http.StatusOK {
+			t.Errorf("in-flight request finished with %d, want 200", code)
+		}
+	}
+	if got := tr.Counters()[obs.CtrServeRequests]; got != n {
+		t.Errorf("serve.requests = %d, want %d", got, n)
+	}
+	// New connections are refused once drained.
+	if _, err := client.Get(base + "/healthz"); err == nil {
+		t.Error("drained server still accepting connections")
+	}
+}
+
+// TestLoadSpecReplayable asserts the generator is deterministic: the
+// same (seed, n, distinct) always yields the identical script.
+func TestLoadSpecReplayable(t *testing.T) {
+	t.Parallel()
+	a := GenerateLoad(42, 200, 4)
+	b := GenerateLoad(42, 200, 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("GenerateLoad is not replayable: same seed produced different scripts")
+	}
+	c := GenerateLoad(43, 200, 4)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical scripts")
+	}
+	for i, r := range a.Requests {
+		if !strings.HasPrefix(r.Path, "/v1/") || !strings.HasPrefix(r.Body, "{") {
+			t.Fatalf("request %d malformed: %+v", i, r)
+		}
+	}
+}
+
+// TestRunLoadAgainstServer replays a generated script against a live
+// server and asserts a clean aggregate: no transport errors, no 5xx.
+func TestRunLoadAgainstServer(t *testing.T) {
+	t.Parallel()
+	tr := obs.NewTracer()
+	s := New(Config{
+		Tracer:  tr,
+		Workers: 1,
+		// Roomy queue: this test asserts clean completion, not shedding.
+		Limiter: LimiterConfig{MaxConcurrent: 4, MaxQueue: 64},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	spec := GenerateLoad(7, 120, 3)
+	spec.Concurrency = 16
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	report, err := RunLoad(ctx, ts.Client(), ts.URL, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Total != 120 || report.Transport != 0 {
+		t.Fatalf("report: %s", report)
+	}
+	if report.Errors5xx != 0 {
+		t.Fatalf("load run produced 5xx: %s", report)
+	}
+	if report.StatusCount[http.StatusOK] != 120 {
+		t.Fatalf("want 120 clean 200s: %s", report)
+	}
+	// The palette has far fewer unique requests than total requests, so
+	// coalescing and caching must have absorbed most of the work.
+	ctrs := tr.Counters()
+	if served := ctrs[obs.CtrServeCoalesced] + ctrs[obs.CtrServeCacheHits]; served == 0 {
+		t.Error("neither coalescing nor caching absorbed any repeat work")
+	}
+}
+
+// BenchmarkCoalescedCurveQueries measures the serving path's throughput
+// for the hot case: concurrent identical queries absorbed by the flight
+// and response cache.
+func BenchmarkCoalescedCurveQueries(b *testing.B) {
+	s := New(Config{})
+	h := s.Handler()
+	body := `{"points":20}`
+	// Prime the cache so the benchmark measures steady-state serving.
+	if rec := hit(h, http.MethodPost, "/v1/curve", body); rec.Code != http.StatusOK {
+		b.Fatalf("priming request: %d", rec.Code)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if rec := hit(h, http.MethodPost, "/v1/curve", body); rec.Code != http.StatusOK {
+				b.Fatalf("status %d", rec.Code)
+			}
+		}
+	})
+}
+
+// BenchmarkDistinctCurveQueries measures the cold path: a rotating
+// palette wider than the response cache would coalesce, exercising the
+// analyzer cache and limiter.
+func BenchmarkDistinctCurveQueries(b *testing.B) {
+	s := New(Config{Limiter: LimiterConfig{MaxConcurrent: 4, MaxQueue: 1 << 20}})
+	h := s.Handler()
+	bodies := make([]string, 8)
+	for i := range bodies {
+		bodies[i] = fmt.Sprintf(`{"params":{"lambda":%g},"points":20}`, (1.0/48.0)*(1+float64(i)/16))
+	}
+	var i int
+	var mu sync.Mutex
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			mu.Lock()
+			body := bodies[i%len(bodies)]
+			i++
+			mu.Unlock()
+			if rec := hit(h, http.MethodPost, "/v1/curve", body); rec.Code != http.StatusOK {
+				b.Fatalf("status %d", rec.Code)
+			}
+		}
+	})
+}

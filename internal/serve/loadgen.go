@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// LoadRequest is one scripted query: a route path and the JSON body to
+// POST to it. Specs are plain data so a run can be replayed exactly.
+type LoadRequest struct {
+	Path string `json:"path"`
+	Body string `json:"body"`
+}
+
+// LoadSpec is a replayable load script: the request sequence plus the
+// concurrency to drive it at. The same spec against the same server
+// state asks for exactly the same work.
+type LoadSpec struct {
+	// Concurrency is the number of parallel clients (default 8).
+	Concurrency int `json:"concurrency"`
+	// Requests are issued in order, distributed round-robin across the
+	// clients.
+	Requests []LoadRequest `json:"requests"`
+}
+
+// LoadReport aggregates one load run.
+type LoadReport struct {
+	Total       int           `json:"total"`
+	StatusCount map[int]int   `json:"status_count"`
+	Degraded    int           `json:"degraded"`
+	Shed        int           `json:"shed"`
+	Errors5xx   int           `json:"errors_5xx"`
+	Transport   int           `json:"transport_errors"`
+	Elapsed     time.Duration `json:"elapsed_ns"`
+	P50         time.Duration `json:"p50_ns"`
+	P95         time.Duration `json:"p95_ns"`
+}
+
+// String renders the report for humans.
+func (r *LoadReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d requests in %v (p50 %v, p95 %v)\n", r.Total, r.Elapsed.Round(time.Millisecond), r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond))
+	statuses := make([]int, 0, len(r.StatusCount))
+	for s := range r.StatusCount {
+		statuses = append(statuses, s)
+	}
+	sort.Ints(statuses)
+	for _, s := range statuses {
+		fmt.Fprintf(&b, "  %d: %d\n", s, r.StatusCount[s])
+	}
+	fmt.Fprintf(&b, "  degraded: %d, shed: %d, 5xx: %d, transport errors: %d", r.Degraded, r.Shed, r.Errors5xx, r.Transport)
+	return b.String()
+}
+
+// GenerateLoad builds a deterministic load script: n requests over a mix
+// of curve, optimize, and propagate queries against a palette of
+// `distinct` parameter sets (varying λ around the paper's value). The
+// same (seed, n, distinct) triple always yields the same script, so a
+// run is replayable bit-for-bit.
+func GenerateLoad(seed int64, n, distinct int) LoadSpec {
+	if distinct < 1 {
+		distinct = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([]LoadRequest, 0, n)
+	for i := 0; i < n; i++ {
+		// λ palette: scale the paper's 1/48 h⁻¹ by 1 + k/16 for k in
+		// [0, distinct).
+		lambda := (1.0 / 48.0) * (1 + float64(rng.Intn(distinct))/16)
+		params := fmt.Sprintf(`"params":{"lambda":%g}`, lambda)
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4, 5, 6: // curve-heavy mix
+			reqs = append(reqs, LoadRequest{Path: "/v1/curve", Body: fmt.Sprintf(`{%s,"points":20}`, params)})
+		case 7, 8:
+			reqs = append(reqs, LoadRequest{Path: "/v1/optimize", Body: fmt.Sprintf(`{%s,"grid_points":20}`, params)})
+		default:
+			reqs = append(reqs, LoadRequest{Path: "/v1/propagate", Body: fmt.Sprintf(`{%s,"samples":8,"seed":7}`, params)})
+		}
+	}
+	return LoadSpec{Concurrency: 8, Requests: reqs}
+}
+
+// RunLoad replays spec against the server at baseURL and aggregates the
+// outcome. client may be nil (http.DefaultClient). ctx cancels the run
+// early; requests already issued still count.
+func RunLoad(ctx context.Context, client *http.Client, baseURL string, spec LoadSpec) (*LoadReport, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	conc := spec.Concurrency
+	if conc < 1 {
+		conc = 8
+	}
+	if conc > len(spec.Requests) && len(spec.Requests) > 0 {
+		conc = len(spec.Requests)
+	}
+	report := &LoadReport{StatusCount: make(map[int]int)}
+	latencies := make([]time.Duration, 0, len(spec.Requests))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(spec.Requests); i += conc {
+				if ctx.Err() != nil {
+					return
+				}
+				lr := spec.Requests[i]
+				t0 := time.Now()
+				status, degraded, err := issue(ctx, client, baseURL, lr)
+				lat := time.Since(t0)
+				mu.Lock()
+				report.Total++
+				if err != nil {
+					report.Transport++
+				} else {
+					report.StatusCount[status]++
+					latencies = append(latencies, lat)
+					switch {
+					case status == http.StatusTooManyRequests:
+						report.Shed++
+					case status >= 500:
+						report.Errors5xx++
+					}
+					if degraded {
+						report.Degraded++
+					}
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	report.Elapsed = time.Since(start)
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		report.P50 = latencies[len(latencies)*50/100]
+		report.P95 = latencies[len(latencies)*95/100]
+	}
+	if report.Total == 0 && len(spec.Requests) > 0 {
+		return report, fmt.Errorf("serve: load run issued no requests: %w", ctx.Err())
+	}
+	return report, nil
+}
+
+// issue performs one scripted request, reporting the status and whether
+// the response document carries the degraded marker.
+func issue(ctx context.Context, client *http.Client, baseURL string, lr LoadRequest) (status int, degraded bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+lr.Path, strings.NewReader(lr.Body))
+	if err != nil {
+		return 0, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, false, err
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return resp.StatusCode, false, err
+	}
+	return resp.StatusCode, strings.Contains(string(body), `"degraded":true`), nil
+}

@@ -1,0 +1,292 @@
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"guardedop/internal/mdcd"
+)
+
+// maxRequestBody bounds a request document; parameter sets are tiny, so
+// anything larger is garbage or abuse.
+const maxRequestBody = 1 << 16
+
+// Limits on request-supplied work sizes, so a single query cannot ask the
+// daemon for an unbounded amount of solving.
+const (
+	maxCurvePoints      = 2048
+	maxPropagateSamples = 2048
+)
+
+// ParamsRequest is the JSON shape of a model parameter set. Zero-valued
+// fields take the paper's Table 3 defaults, so `{}` queries the baseline.
+type ParamsRequest struct {
+	Theta    float64 `json:"theta,omitempty"`
+	Lambda   float64 `json:"lambda,omitempty"`
+	MuNew    float64 `json:"mu_new,omitempty"`
+	MuOld    float64 `json:"mu_old,omitempty"`
+	Coverage float64 `json:"coverage,omitempty"`
+	PExt     float64 `json:"p_ext,omitempty"`
+	Alpha    float64 `json:"alpha,omitempty"`
+	Beta     float64 `json:"beta,omitempty"`
+}
+
+// Params resolves the request against the paper defaults and validates
+// the result. A field left at zero means "paper default" — the paper's
+// own parameters are all nonzero, so the encoding is unambiguous except
+// for µ_old = 0 and µ_new = 0, which are expressible via the explicit
+// negative sentinel -1 (meaning exactly zero).
+func (pr ParamsRequest) Params() (mdcd.Params, error) {
+	p := mdcd.DefaultParams()
+	set := func(dst *float64, v float64) {
+		switch {
+		case v == 0:
+		case v < 0:
+			*dst = 0
+		default:
+			*dst = v
+		}
+	}
+	set(&p.Theta, pr.Theta)
+	set(&p.Lambda, pr.Lambda)
+	set(&p.MuNew, pr.MuNew)
+	set(&p.MuOld, pr.MuOld)
+	set(&p.Coverage, pr.Coverage)
+	set(&p.PExt, pr.PExt)
+	set(&p.Alpha, pr.Alpha)
+	set(&p.Beta, pr.Beta)
+	if err := p.Validate(); err != nil {
+		return mdcd.Params{}, err
+	}
+	return p, nil
+}
+
+// CurveRequest asks for the Y(φ) curve of one parameter set.
+type CurveRequest struct {
+	Params ParamsRequest `json:"params"`
+	// Points is the number of grid intervals over [0, θ] (default 20,
+	// max maxCurvePoints).
+	Points int `json:"points,omitempty"`
+	// TimeoutMS optionally tightens the server's per-route deadline for
+	// this request; it can never extend it.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// OptimizeRequest asks for the continuously refined optimal duration.
+type OptimizeRequest struct {
+	Params ParamsRequest `json:"params"`
+	// GridPoints is the coarse bracketing grid (default 20 intervals).
+	GridPoints int `json:"grid_points,omitempty"`
+	TimeoutMS  int `json:"timeout_ms,omitempty"`
+}
+
+// PropagateRequest asks for posterior uncertainty propagation of µ_new.
+type PropagateRequest struct {
+	Params ParamsRequest `json:"params"`
+	// Shape and Rate parameterize the Gamma posterior over µ_new.
+	// Defaults reproduce a weakly informed posterior centred on the
+	// paper's µ_new: shape 2, rate 2/µ_new.
+	Shape float64 `json:"shape,omitempty"`
+	Rate  float64 `json:"rate,omitempty"`
+	// Samples is the number of posterior draws (default 50 on the
+	// serving path, max maxPropagateSamples).
+	Samples int `json:"samples,omitempty"`
+	// Seed seeds the deterministic draw stream (default 1).
+	Seed       int64 `json:"seed,omitempty"`
+	GridPoints int   `json:"grid_points,omitempty"`
+	TimeoutMS  int   `json:"timeout_ms,omitempty"`
+}
+
+// decodeRequest parses one API request from either a JSON body (POST) or
+// query parameters (GET), into dst. GET support keeps the daemon
+// curl-able; the query keys are the JSON field names.
+func decodeRequest(r *http.Request, dst any) error {
+	switch r.Method {
+	case http.MethodPost:
+		dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxRequestBody))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(dst); err != nil {
+			return fmt.Errorf("decoding JSON body: %w", err)
+		}
+		return nil
+	case http.MethodGet:
+		return decodeQuery(r.URL.Query(), dst)
+	default:
+		return fmt.Errorf("method %s not allowed", r.Method)
+	}
+}
+
+// decodeQuery maps flat query parameters onto the request structs. Nested
+// params fields are addressed by their bare JSON names (theta, mu_new, …).
+func decodeQuery(q url.Values, dst any) error {
+	getF := func(key string, into *float64) error {
+		s := q.Get(key)
+		if s == "" {
+			return nil
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return fmt.Errorf("query %s=%q: %w", key, s, err)
+		}
+		*into = v
+		return nil
+	}
+	getI := func(key string, into *int) error {
+		s := q.Get(key)
+		if s == "" {
+			return nil
+		}
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return fmt.Errorf("query %s=%q: %w", key, s, err)
+		}
+		*into = v
+		return nil
+	}
+	getI64 := func(key string, into *int64) error {
+		s := q.Get(key)
+		if s == "" {
+			return nil
+		}
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return fmt.Errorf("query %s=%q: %w", key, s, err)
+		}
+		*into = v
+		return nil
+	}
+	decodeParams := func(p *ParamsRequest) error {
+		for _, f := range []struct {
+			key  string
+			into *float64
+		}{
+			{"theta", &p.Theta}, {"lambda", &p.Lambda},
+			{"mu_new", &p.MuNew}, {"mu_old", &p.MuOld},
+			{"coverage", &p.Coverage}, {"p_ext", &p.PExt},
+			{"alpha", &p.Alpha}, {"beta", &p.Beta},
+		} {
+			if err := getF(f.key, f.into); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	switch d := dst.(type) {
+	case *CurveRequest:
+		if err := decodeParams(&d.Params); err != nil {
+			return err
+		}
+		if err := getI("points", &d.Points); err != nil {
+			return err
+		}
+		return getI("timeout_ms", &d.TimeoutMS)
+	case *OptimizeRequest:
+		if err := decodeParams(&d.Params); err != nil {
+			return err
+		}
+		if err := getI("grid_points", &d.GridPoints); err != nil {
+			return err
+		}
+		return getI("timeout_ms", &d.TimeoutMS)
+	case *PropagateRequest:
+		if err := decodeParams(&d.Params); err != nil {
+			return err
+		}
+		for _, f := range []struct {
+			key  string
+			into *float64
+		}{{"shape", &d.Shape}, {"rate", &d.Rate}} {
+			if err := getF(f.key, f.into); err != nil {
+				return err
+			}
+		}
+		if err := getI("samples", &d.Samples); err != nil {
+			return err
+		}
+		if err := getI64("seed", &d.Seed); err != nil {
+			return err
+		}
+		if err := getI("grid_points", &d.GridPoints); err != nil {
+			return err
+		}
+		return getI("timeout_ms", &d.TimeoutMS)
+	default:
+		return fmt.Errorf("serve: no query decoder for %T", dst)
+	}
+}
+
+// keyBuf accumulates the canonical byte encoding of a request for
+// coalescing and cache keys: fixed-width big-endian float bits and
+// varints, so two requests share a key exactly when every field is
+// bit-identical after default resolution.
+type keyBuf struct{ b []byte }
+
+func (k *keyBuf) f64(v float64) {
+	var raw [8]byte
+	binary.BigEndian.PutUint64(raw[:], math.Float64bits(v))
+	k.b = append(k.b, raw[:]...)
+}
+
+func (k *keyBuf) i64(v int64) {
+	k.b = binary.AppendVarint(k.b, v)
+}
+
+func (k *keyBuf) str(s string) {
+	k.b = binary.AppendVarint(k.b, int64(len(s)))
+	k.b = append(k.b, s...)
+}
+
+func (k *keyBuf) String() string { return hex.EncodeToString(k.b) }
+
+// paramsKey is the canonical hash key of one resolved parameter set: the
+// analyzer-cache key, and the prefix of every request key.
+func paramsKey(p mdcd.Params) string {
+	var k keyBuf
+	for _, v := range []float64{p.Theta, p.Lambda, p.MuNew, p.MuOld, p.Coverage, p.PExt, p.Alpha, p.Beta} {
+		k.f64(v)
+	}
+	return k.String()
+}
+
+// requestKey returns the canonical coalescing/cache key of one decoded,
+// default-resolved request: route kind plus every field that influences
+// the answer. TimeoutMS is deliberately excluded — a tighter deadline
+// changes when a request gives up, never what the full answer would be,
+// so differently impatient clients still coalesce onto one solve.
+func requestKey(kind string, p mdcd.Params, ints []int64) string {
+	var k keyBuf
+	k.str(kind)
+	for _, v := range []float64{p.Theta, p.Lambda, p.MuNew, p.MuOld, p.Coverage, p.PExt, p.Alpha, p.Beta} {
+		k.f64(v)
+	}
+	for _, v := range ints {
+		k.i64(v)
+	}
+	return k.String()
+}
+
+// propagateKey extends requestKey with the posterior shape/rate floats.
+func propagateKey(p mdcd.Params, g gammaSpec, samples int, seed int64, gridPoints int) string {
+	var k keyBuf
+	k.str("propagate")
+	for _, v := range []float64{p.Theta, p.Lambda, p.MuNew, p.MuOld, p.Coverage, p.PExt, p.Alpha, p.Beta} {
+		k.f64(v)
+	}
+	k.f64(g.shape)
+	k.f64(g.rate)
+	k.i64(int64(samples))
+	k.i64(seed)
+	k.i64(int64(gridPoints))
+	return k.String()
+}
+
+// gammaSpec is a resolved posterior parameterization.
+type gammaSpec struct {
+	shape, rate float64
+}

@@ -1,0 +1,371 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"guardedop/internal/core"
+	"guardedop/internal/obs"
+	"guardedop/internal/robust"
+)
+
+// Config tunes a Server. The zero value serves with sane defaults.
+type Config struct {
+	// RouteTimeout is the per-request solve budget (default 30s). A
+	// request's timeout_ms field can tighten it, never extend it.
+	RouteTimeout time.Duration
+	// Workers bounds the solver worker pool each request's sweep runs on
+	// (default 2 — per-request parallelism stays modest so concurrent
+	// requests, not single sweeps, use the cores).
+	Workers int
+	// Limiter bounds admission (see LimiterConfig).
+	Limiter LimiterConfig
+	// AnalyzerCache bounds the built-analyzer cache (default: 8 shards,
+	// 64 analyzers, 10m TTL).
+	AnalyzerCache CacheConfig
+	// ResponseCache bounds the whole-response cache (default: 8 shards,
+	// 512 responses, 5m TTL).
+	ResponseCache CacheConfig
+	// Tracer is the process tracer backing /metrics; nil runs untraced
+	// (counters become no-ops, /metrics serves an empty exposition).
+	Tracer *obs.Tracer
+	// ErrorLog receives transport-level problems (failed response
+	// writes, recovered panics). Nil uses the log package default.
+	ErrorLog *log.Logger
+}
+
+// withDefaults resolves the zero values.
+func (c Config) withDefaults() Config {
+	if c.RouteTimeout <= 0 {
+		c.RouteTimeout = 30 * time.Second
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.AnalyzerCache.Capacity == 0 {
+		c.AnalyzerCache.Capacity = 64
+	}
+	if c.AnalyzerCache.TTL == 0 {
+		c.AnalyzerCache.TTL = 10 * time.Minute
+	}
+	if c.ResponseCache.Capacity == 0 {
+		c.ResponseCache.Capacity = 512
+	}
+	return c
+}
+
+// Server is the performability-as-a-service daemon: HTTP handlers over
+// the analyzer stack, composed from the package's robustness pieces
+// (coalescer, sharded caches, admission limiter) plus lifecycle state
+// (readiness, drain). Build with New, mount Handler, stop with Shutdown.
+type Server struct {
+	cfg    Config
+	tracer *obs.Tracer
+	logf   func(format string, args ...any)
+
+	// base is the lifecycle context flights derive from: it carries the
+	// process tracer and dies when the server shuts down, so no solve
+	// outlives the drain.
+	base       context.Context
+	cancelBase context.CancelFunc
+
+	analyzers *Cache[*core.Analyzer]
+	responses *Cache[*apiResult]
+	flights   *Coalescer[*apiResult]
+	limiter   *Limiter
+
+	draining atomic.Bool
+	mux      *http.ServeMux
+	hs       *http.Server
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	base, cancel := context.WithCancel(context.Background())
+	base = obs.WithTracer(base, cfg.Tracer)
+	s := &Server{
+		cfg:        cfg,
+		tracer:     cfg.Tracer,
+		base:       base,
+		cancelBase: cancel,
+		analyzers: NewCache[*core.Analyzer](cfg.AnalyzerCache,
+			obs.CtrServeCacheHits, obs.CtrServeCacheMisses, obs.CtrServeCacheEvictions, obs.CtrServeCacheExpired),
+		responses: NewCache[*apiResult](cfg.ResponseCache,
+			obs.CtrServeCacheHits, obs.CtrServeCacheMisses, obs.CtrServeCacheEvictions, obs.CtrServeCacheExpired),
+		flights: NewCoalescer[*apiResult](base),
+		limiter: NewLimiter(cfg.Limiter),
+	}
+	if cfg.ErrorLog != nil {
+		s.logf = cfg.ErrorLog.Printf
+	} else {
+		s.logf = log.Printf
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/v1/curve", s.handleCurve)
+	s.mux.HandleFunc("/v1/optimize", s.handleOptimize)
+	s.mux.HandleFunc("/v1/propagate", s.handlePropagate)
+	return s
+}
+
+// Handler returns the server's root handler: panic recovery and tracer
+// injection around the route mux. Usable directly with httptest.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				obs.Count(s.traced(r.Context()), obs.CtrServePanics, 1)
+				s.logf("serve: recovered panic on %s: %v", r.URL.Path, rec)
+				s.writeError(w, r, fmt.Errorf("%w: %v", robust.ErrPanic, rec))
+			}
+		}()
+		r = r.WithContext(s.traced(r.Context()))
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// traced attaches the process tracer to a request context.
+func (s *Server) traced(ctx context.Context) context.Context {
+	return obs.WithTracer(ctx, s.tracer)
+}
+
+// Start listens on addr (host:port; port 0 picks a free one) and serves
+// in a background goroutine, returning the bound address. Use Shutdown
+// to stop.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	s.hs = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() {
+		if serr := s.hs.Serve(ln); serr != nil && serr != http.ErrServerClosed {
+			s.logf("serve: %v", serr)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Shutdown drains the server gracefully: readiness flips to draining (so
+// load balancers stop routing here), new connections stop being
+// accepted, every in-flight request — including queued admitted work —
+// runs to completion, and only then does the lifecycle context die. ctx
+// bounds how long the drain may take; on expiry remaining work is
+// abandoned and its flights canceled.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	var err error
+	if s.hs != nil {
+		err = s.hs.Shutdown(ctx)
+	}
+	s.cancelBase()
+	return err
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// apiResult is one computed (or cached) API response: the flight value
+// shared by coalesced requests and the unit the response cache stores.
+type apiResult struct {
+	status   int
+	body     []byte
+	degraded bool
+	// cacheable marks a complete, deterministic success — partial
+	// (degraded) and error responses are never cached, so a request shed
+	// or cut short can never poison later answers.
+	cacheable bool
+	// retryAfter is set on shed responses.
+	retryAfter time.Duration
+}
+
+// errEnvelope is the JSON error document.
+type errEnvelope struct {
+	Error  string `json:"error"`
+	Class  string `json:"class,omitempty"`
+	Status int    `json:"status"`
+}
+
+// errorResult renders a solve failure as an apiResult via the robust
+// taxonomy's status mapping.
+func errorResult(err error) *apiResult {
+	status := robust.HTTPStatus(err)
+	body, merr := json.Marshal(errEnvelope{Error: err.Error(), Class: robust.ErrorClass(err), Status: status})
+	if merr != nil {
+		body = []byte(`{"error":"internal error","status":500}`)
+		status = http.StatusInternalServerError
+	}
+	return &apiResult{status: status, body: body}
+}
+
+// shedResult renders a 429 with a Retry-After hint.
+func shedResult(retryAfter time.Duration) *apiResult {
+	body, merr := json.Marshal(errEnvelope{Error: ErrShed.Error(), Class: "shed", Status: http.StatusTooManyRequests})
+	if merr != nil {
+		body = []byte(`{"error":"shed","status":429}`)
+	}
+	return &apiResult{status: http.StatusTooManyRequests, body: body, retryAfter: retryAfter}
+}
+
+// serveAPI is the composed request path shared by every solve route:
+// response cache → coalesced flight → (inside the flight) admission
+// control → deadline-bounded compute. compute must return a non-nil
+// apiResult and never an error — solver failures are rendered with
+// errorResult so they share status mapping and coalesce like successes.
+func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, key string, budget time.Duration, compute func(ctx context.Context) *apiResult) {
+	ctx := r.Context()
+	obs.Count(ctx, obs.CtrServeRequests, 1)
+	if res, ok := s.responses.Get(ctx, key); ok {
+		s.writeResult(w, r, res, true)
+		return
+	}
+	res, shared, err := s.flights.Do(ctx, key, func(fctx context.Context) (out *apiResult, _ error) {
+		defer func() {
+			// A panic inside a flight would otherwise kill the process
+			// (the flight runs outside the HTTP handler's recovery).
+			if rec := recover(); rec != nil {
+				obs.Count(fctx, obs.CtrServePanics, 1)
+				s.logf("serve: recovered panic in flight %s: %v", r.URL.Path, rec)
+				out = errorResult(fmt.Errorf("%w: %v", robust.ErrPanic, rec))
+			}
+		}()
+		// Re-check the cache now that this flight owns the key: a request
+		// that missed the cache moments before an identical flight finished
+		// would otherwise re-solve. Because the finished flight filled the
+		// cache before being forgotten (below), passing this check means no
+		// completed identical solve exists — together the two steps make
+		// "exactly one solver run per unique request" hold even for
+		// stragglers racing a finishing flight.
+		if cached, ok := s.responses.Get(fctx, key); ok {
+			return cached, nil
+		}
+		release, aerr := s.limiter.Acquire(fctx)
+		if aerr != nil {
+			if errors.Is(aerr, ErrShed) {
+				obs.Count(fctx, obs.CtrServeShed, 1)
+				return shedResult(s.limiter.RetryAfter()), nil
+			}
+			return errorResult(aerr), nil
+		}
+		defer release()
+		sctx, cancel := context.WithTimeout(fctx, budget)
+		defer cancel()
+		out = compute(sctx)
+		if out.cacheable {
+			// Fill the cache from inside the flight, so by the time the
+			// flight is forgotten the answer is already cached (see the
+			// re-check above).
+			s.responses.Put(fctx, key, out)
+		}
+		return out, nil
+	})
+	if err != nil {
+		// This caller's own wait ended (client gone or connection
+		// deadline); the flight may still complete for other waiters.
+		s.writeError(w, r, err)
+		return
+	}
+	if shared {
+		obs.Count(ctx, obs.CtrServeCoalesced, 1)
+	}
+	s.writeResult(w, r, res, false)
+}
+
+// budget resolves a request's solve deadline: the route timeout,
+// tightened by a positive timeout_ms.
+func (s *Server) budget(timeoutMS int) time.Duration {
+	b := s.cfg.RouteTimeout
+	if timeoutMS > 0 {
+		if t := time.Duration(timeoutMS) * time.Millisecond; t < b {
+			b = t
+		}
+	}
+	return b
+}
+
+// writeResult writes one apiResult, maintaining the serving counters.
+func (s *Server) writeResult(w http.ResponseWriter, r *http.Request, res *apiResult, cached bool) {
+	ctx := r.Context()
+	if res.degraded {
+		obs.Count(ctx, obs.CtrServeDegraded, 1)
+	}
+	if res.status >= 400 && res.status != http.StatusTooManyRequests {
+		obs.Count(ctx, obs.CtrServeErrors, 1)
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	if cached {
+		h.Set("X-Cache", "hit")
+	}
+	if res.retryAfter > 0 {
+		secs := int(res.retryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		h.Set("Retry-After", fmt.Sprintf("%d", secs))
+	}
+	w.WriteHeader(res.status)
+	if _, err := w.Write(res.body); err != nil {
+		s.logf("serve: writing %s response: %v", r.URL.Path, err)
+	}
+}
+
+// writeError renders err through the taxonomy mapping.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
+	res := errorResult(err)
+	if res.status >= http.StatusInternalServerError {
+		s.logf("serve: %s: %v", r.URL.Path, err)
+	}
+	s.writeResult(w, r, res, false)
+}
+
+// writeJSON marshals v as the response body with the given status.
+func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		s.writeError(w, r, fmt.Errorf("encoding response: %w", err))
+		return
+	}
+	s.writeResult(w, r, &apiResult{status: status, body: body}, false)
+}
+
+// handleHealthz reports liveness: the process is up and serving HTTP.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, r, http.StatusOK, map[string]any{"ok": true})
+}
+
+// handleReadyz reports readiness: 200 while accepting work, 503 once
+// draining so load balancers route new traffic elsewhere while in-flight
+// requests finish.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeJSON(w, r, http.StatusServiceUnavailable, map[string]any{"ready": false, "draining": true})
+		return
+	}
+	s.writeJSON(w, r, http.StatusOK, map[string]any{"ready": true})
+}
+
+// handleMetrics exposes the process tracer in the Prometheus text
+// format, through the same formatter as `gsueval -metrics prom`
+// (robust.Metrics.WritePromWith → obs.WritePromText).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	m := robust.NewMetrics(0, 0)
+	m.AddTrace(s.tracer)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := m.WritePromWith(w, s.tracer.Histograms()); err != nil {
+		s.logf("serve: writing /metrics: %v", err)
+	}
+}
