@@ -10,7 +10,10 @@ func TestListRules(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errOut); code != exitClean {
 		t.Fatalf("exit %d, want %d (stderr: %s)", code, exitClean, errOut.String())
 	}
-	for _, rule := range []string{"errcheck", "floateq", "libpanic", "ctxflow", "probrange"} {
+	for _, rule := range []string{
+		"errcheck", "floateq", "libpanic", "ctxflow", "probrange",
+		"ctxcancel", "lockbalance", "golifetime", "exhaustive",
+	} {
 		if !strings.Contains(out.String(), rule) {
 			t.Errorf("-list output missing rule %s:\n%s", rule, out.String())
 		}

@@ -1,0 +1,437 @@
+package cfg
+
+import (
+	"bytes"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseFunc parses src (one or more declarations) and returns the first
+// function declaration with a body.
+func parseFunc(t *testing.T, src string) (*token.FileSet, *ast.FuncDecl) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "test.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", src, err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return fset, fd
+		}
+	}
+	t.Fatal("no function declaration in source")
+	return nil, nil
+}
+
+// build parses src and builds its CFG.
+func build(t *testing.T, src string) (*token.FileSet, *Graph) {
+	t.Helper()
+	fset, fd := parseFunc(t, src)
+	return fset, New(fd.Body)
+}
+
+// nodeStr renders a node's source text for matching.
+func nodeStr(fset *token.FileSet, n ast.Node) string {
+	if _, ok := n.(*ImplicitReturn); ok {
+		return "<implicit return>"
+	}
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return "<unprintable>"
+	}
+	return buf.String()
+}
+
+// blockWith finds the unique block containing a node whose source text
+// contains substr.
+func blockWith(t *testing.T, fset *token.FileSet, g *Graph, substr string) *Block {
+	t.Helper()
+	var found *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if strings.Contains(nodeStr(fset, n), substr) {
+				if found != nil && found != b {
+					t.Fatalf("node %q appears in blocks b%d and b%d:\n%s", substr, found.Index, b.Index, g)
+				}
+				found = b
+			}
+		}
+	}
+	if found == nil {
+		t.Fatalf("no block contains %q:\n%s", substr, g)
+	}
+	return found
+}
+
+func hasEdge(a, b *Block) bool {
+	for _, s := range a.Succs {
+		if s == b {
+			return true
+		}
+	}
+	return false
+}
+
+// hasPath reports whether b is reachable from a along successor edges.
+func hasPath(a, b *Block) bool {
+	seen := map[*Block]bool{}
+	var dfs func(*Block) bool
+	dfs = func(x *Block) bool {
+		if x == b {
+			return true
+		}
+		if seen[x] {
+			return false
+		}
+		seen[x] = true
+		for _, s := range x.Succs {
+			if dfs(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(a)
+}
+
+func TestIfDiamond(t *testing.T) {
+	fset, g := build(t, `func f(c bool) int {
+		x := 0
+		if c {
+			x = 1
+		} else {
+			x = 2
+		}
+		return x
+	}`)
+	cond := blockWith(t, fset, g, "c")
+	then := blockWith(t, fset, g, "x = 1")
+	els := blockWith(t, fset, g, "x = 2")
+	ret := blockWith(t, fset, g, "return x")
+	if !hasEdge(cond, then) || !hasEdge(cond, els) {
+		t.Fatalf("condition must branch to both arms:\n%s", g)
+	}
+	if hasEdge(cond, ret) {
+		t.Fatalf("if/else must not fall through past both arms:\n%s", g)
+	}
+	if !hasPath(then, ret) || !hasPath(els, ret) {
+		t.Fatalf("both arms must rejoin before the return:\n%s", g)
+	}
+	if !hasEdge(ret, g.Exit) {
+		t.Fatalf("return must edge to exit:\n%s", g)
+	}
+}
+
+func TestForLoopSkipAndBackEdge(t *testing.T) {
+	fset, g := build(t, `func f(n int) int {
+		s := 0
+		for i := 0; i < n; i++ {
+			s += i
+		}
+		return s
+	}`)
+	cond := blockWith(t, fset, g, "i < n")
+	body := blockWith(t, fset, g, "s += i")
+	post := blockWith(t, fset, g, "i++")
+	ret := blockWith(t, fset, g, "return s")
+	if !hasEdge(cond, body) {
+		t.Fatalf("cond must enter body:\n%s", g)
+	}
+	if !hasEdge(cond, ret) {
+		t.Fatalf("cond must be able to skip the body entirely:\n%s", g)
+	}
+	if !hasEdge(body, post) || !hasEdge(post, cond) {
+		t.Fatalf("body -> post -> cond back edge missing:\n%s", g)
+	}
+}
+
+func TestInfiniteLoopOnlyExitsViaBreak(t *testing.T) {
+	fset, g := build(t, `func f(c bool) int {
+		for {
+			if c {
+				break
+			}
+		}
+		return 1
+	}`)
+	ret := blockWith(t, fset, g, "return 1")
+	cond := blockWith(t, fset, g, "c")
+	if !hasPath(cond, ret) {
+		t.Fatalf("break must reach the loop exit:\n%s", g)
+	}
+	// The loop head itself must not skip to after (no condition).
+	for _, b := range g.Blocks {
+		if b.Kind == "for.cond" && hasEdge(b, ret) {
+			t.Fatalf("infinite loop head must not edge to after:\n%s", g)
+		}
+	}
+}
+
+func TestLabeledBreakAndContinue(t *testing.T) {
+	fset, g := build(t, `func f(m, n int) int {
+		s := 0
+	outer:
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				if j == 3 {
+					continue outer
+				}
+				if j == 5 {
+					break outer
+				}
+				s++
+			}
+		}
+		return s
+	}`)
+	ret := blockWith(t, fset, g, "return s")
+	contSrc := blockWith(t, fset, g, "j == 3")
+	breakSrc := blockWith(t, fset, g, "j == 5")
+	outerPost := blockWith(t, fset, g, "i++")
+	innerCond := blockWith(t, fset, g, "j < n")
+
+	// continue outer jumps straight to the outer post (the branch lives in
+	// the empty then-block hanging off the condition).
+	foundCont := false
+	for _, s := range contSrc.Succs {
+		if len(s.Nodes) == 0 && len(s.Succs) == 1 && s.Succs[0] == outerPost {
+			foundCont = true
+		}
+	}
+	if !foundCont {
+		t.Fatalf("continue outer must edge to the outer for.post:\n%s", g)
+	}
+	// break outer jumps straight past both loops.
+	foundBreak := false
+	for _, s := range breakSrc.Succs {
+		if hasPath(s, ret) && !hasPath(s, innerCond) {
+			foundBreak = true
+		}
+	}
+	if !foundBreak {
+		t.Fatalf("break outer must leave both loops:\n%s", g)
+	}
+}
+
+func TestDeferInLoopStaysInBody(t *testing.T) {
+	fset, g := build(t, `func f(files []string) {
+		for _, f := range files {
+			h := open(f)
+			defer h.Close()
+		}
+	}`)
+	deferB := blockWith(t, fset, g, "defer h.Close()")
+	if deferB.Kind != "range.body" {
+		t.Fatalf("defer in a range body must live in the body block, got %q:\n%s", deferB.Kind, g)
+	}
+	// The zero-iteration path must bypass the defer: head -> after without
+	// passing the body.
+	head := blockWith(t, fset, g, "files")
+	bypass := false
+	for _, s := range head.Succs {
+		if s != deferB && !hasPath(s, deferB) {
+			bypass = true
+		}
+	}
+	if !bypass {
+		t.Fatalf("range head must have a body-skipping edge (defer may run zero times):\n%s", g)
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	fset, g := build(t, `func f(v int) int {
+		s := 0
+		switch v {
+		case 1:
+			s = 1
+			fallthrough
+		case 2:
+			s += 2
+		case 3:
+			s = 3
+		}
+		return s
+	}`)
+	c1 := blockWith(t, fset, g, "s = 1")
+	c2 := blockWith(t, fset, g, "s += 2")
+	c3 := blockWith(t, fset, g, "s = 3")
+	ret := blockWith(t, fset, g, "return s")
+	if !hasEdge(c1, c2) {
+		t.Fatalf("fallthrough must edge clause 1 into clause 2:\n%s", g)
+	}
+	if hasEdge(c1, ret) {
+		t.Fatalf("fallthrough clause must not edge to after:\n%s", g)
+	}
+	if !hasEdge(c2, ret) || !hasEdge(c3, ret) {
+		t.Fatalf("non-fallthrough clauses must edge to after:\n%s", g)
+	}
+	// No default: the tag block must be able to skip every clause.
+	tag := blockWith(t, fset, g, "v")
+	if !hasEdge(tag, ret) {
+		t.Fatalf("switch without default must have a skip edge:\n%s", g)
+	}
+}
+
+func TestSwitchWithDefaultHasNoSkipEdge(t *testing.T) {
+	fset, g := build(t, `func f(n int) int {
+		s := 0
+		switch {
+		case n > 0:
+			s = 1
+		default:
+			s = 2
+		}
+		return s
+	}`)
+	ret := blockWith(t, fset, g, "return s")
+	for _, b := range g.Blocks {
+		if b.Kind == "entry" && hasEdge(b, ret) {
+			t.Fatalf("switch with default must not skip all clauses:\n%s", g)
+		}
+	}
+}
+
+func TestSelectClauses(t *testing.T) {
+	fset, g := build(t, `func f(a, b chan int, done chan struct{}) int {
+		s := 0
+		select {
+		case v := <-a:
+			s = v
+		case v := <-b:
+			s = -v
+		case <-done:
+			return 0
+		}
+		return s
+	}`)
+	ca := blockWith(t, fset, g, "s = v")
+	cb := blockWith(t, fset, g, "s = -v")
+	cd := blockWith(t, fset, g, "return 0")
+	ret := blockWith(t, fset, g, "return s")
+	head := blockWith(t, fset, g, "s := 0")
+	if !hasEdge(head, ca) || !hasEdge(head, cb) || !hasPath(head, cd) {
+		t.Fatalf("select head must edge to every clause:\n%s", g)
+	}
+	// No default: the select blocks; it must not skip directly to after.
+	if hasEdge(head, ret) {
+		t.Fatalf("select without default must not have a bypass edge:\n%s", g)
+	}
+	if !hasEdge(cd, g.Exit) {
+		t.Fatalf("clause return must edge to exit:\n%s", g)
+	}
+}
+
+func TestEmptySelectTerminates(t *testing.T) {
+	_, g := build(t, `func f() {
+		select {}
+	}`)
+	// Nothing after select{} is reachable; in particular no implicit
+	// return reaches exit.
+	if len(g.Exit.Preds) != 0 {
+		t.Fatalf("select{} must not reach exit:\n%s", g)
+	}
+}
+
+func TestPanicTerminatesPath(t *testing.T) {
+	fset, g := build(t, `func f(c bool) int {
+		if c {
+			panic("boom")
+		}
+		return 1
+	}`)
+	pb := blockWith(t, fset, g, `panic("boom")`)
+	if len(pb.Succs) != 0 {
+		t.Fatalf("panic block must have no successors:\n%s", g)
+	}
+	ret := blockWith(t, fset, g, "return 1")
+	if !hasEdge(ret, g.Exit) {
+		t.Fatalf("surviving path must still return:\n%s", g)
+	}
+	if len(g.Exit.Preds) != 1 {
+		t.Fatalf("only the return reaches exit, got %d preds:\n%s", len(g.Exit.Preds), g)
+	}
+}
+
+func TestRecoverPathKeepsFlowing(t *testing.T) {
+	fset, g := build(t, `func f() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = wrap(r)
+			}
+		}()
+		step()
+		return nil
+	}`)
+	// The deferred recover literal is opaque (a separate function); the
+	// outer flow is linear: defer, call, return.
+	d := blockWith(t, fset, g, "defer func()")
+	ret := blockWith(t, fset, g, "return nil")
+	if !hasPath(d, ret) {
+		t.Fatalf("defer must not break straight-line flow:\n%s", g)
+	}
+	if !hasPath(g.Entry, g.Exit) {
+		t.Fatalf("function must reach exit:\n%s", g)
+	}
+}
+
+func TestGotoForwardAndBackward(t *testing.T) {
+	fset, g := build(t, `func f(c bool) int {
+		i := 0
+	again:
+		i++
+		if c {
+			goto done
+		}
+		if i < 10 {
+			goto again
+		}
+	done:
+		return i
+	}`)
+	inc := blockWith(t, fset, g, "i++")
+	ret := blockWith(t, fset, g, "return i")
+	if !hasPath(g.Entry, ret) {
+		t.Fatalf("goto done must reach the label:\n%s", g)
+	}
+	// Backward goto forms a loop: the label block must be reachable from
+	// itself.
+	if !hasPath(inc, inc) {
+		t.Fatalf("goto again must form a back edge:\n%s", g)
+	}
+}
+
+func TestImplicitReturn(t *testing.T) {
+	fset, g := build(t, `func f(c bool) {
+		if c {
+			step()
+		}
+	}`)
+	ir := blockWith(t, fset, g, "<implicit return>")
+	if !hasEdge(ir, g.Exit) {
+		t.Fatalf("implicit return must edge to exit:\n%s", g)
+	}
+	n := ir.Nodes[len(ir.Nodes)-1]
+	if _, ok := n.(*ImplicitReturn); !ok {
+		t.Fatalf("last node must be *ImplicitReturn, got %T", n)
+	}
+}
+
+func TestUnreachableCodeHasNoPreds(t *testing.T) {
+	fset, g := build(t, `func f() int {
+		return 1
+		step()
+		return 2
+	}`)
+	dead := blockWith(t, fset, g, "step()")
+	if len(dead.Preds) != 0 {
+		t.Fatalf("statements after return must be unreachable:\n%s", g)
+	}
+	if !hasPath(g.Entry, g.Exit) {
+		t.Fatalf("live return must reach exit:\n%s", g)
+	}
+}

@@ -1,0 +1,132 @@
+package cfg
+
+import "go/ast"
+
+// Analysis defines one forward dataflow problem over a Graph. Facts are
+// opaque values; the three callbacks give them meaning. A may-analysis
+// uses a union-like Join, a must-analysis an intersection-like one — the
+// solver does not care, it only needs Join to be monotone and the fact
+// lattice to be finite (or widened by Transfer) so the fixpoint
+// terminates.
+type Analysis struct {
+	// Entry is the boundary fact at function entry.
+	Entry any
+	// Transfer applies one node's effect to the fact flowing into it and
+	// returns the fact flowing out. It must treat facts as immutable
+	// (return a fresh value when anything changes).
+	Transfer func(n ast.Node, in any) any
+	// Join merges the facts of two converging paths. It is only called
+	// with two reached facts; an unreached predecessor contributes
+	// nothing.
+	Join func(a, b any) any
+	// Equal reports whether two facts are equal; the fixpoint iteration
+	// stops when no block's input fact changes.
+	Equal func(a, b any) bool
+}
+
+// Result holds the solved fixpoint: the fact flowing into every reached
+// block. Blocks unreachable from entry are absent.
+type Result struct {
+	In map[*Block]any
+	a  Analysis
+}
+
+// maxVisitsPerBlock bounds fixpoint iteration as a defensive backstop
+// against a non-converging (infinite-lattice, unwidened) analysis. The
+// shipped analyses all use finite lattices and converge in a handful of
+// passes; hitting the cap leaves a sound-but-stale approximation.
+const maxVisitsPerBlock = 64
+
+// Forward solves the analysis to a fixpoint with a reverse-post-order
+// worklist over the blocks reachable from g.Entry.
+func Forward(g *Graph, a Analysis) *Result {
+	order := postorder(g)
+	// Reverse postorder: roughly topological, so loop-free regions solve
+	// in one pass.
+	rpo := make([]*Block, 0, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		rpo = append(rpo, order[i])
+	}
+
+	res := &Result{In: make(map[*Block]any, len(rpo)), a: a}
+	res.In[g.Entry] = a.Entry
+
+	inList := make(map[*Block]bool, len(rpo))
+	var work []*Block
+	for _, blk := range rpo {
+		work = append(work, blk)
+		inList[blk] = true
+	}
+	visits := make(map[*Block]int, len(rpo))
+
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		inList[blk] = false
+
+		in, reached := res.In[blk]
+		if !reached {
+			continue
+		}
+		if visits[blk]++; visits[blk] > maxVisitsPerBlock {
+			continue
+		}
+		out := in
+		for _, n := range blk.Nodes {
+			out = a.Transfer(n, out)
+		}
+		for _, succ := range blk.Succs {
+			prev, ok := res.In[succ]
+			next := out
+			if ok {
+				next = a.Join(prev, out)
+			}
+			if ok && a.Equal(prev, next) {
+				continue
+			}
+			res.In[succ] = next
+			if !inList[succ] {
+				work = append(work, succ)
+				inList[succ] = true
+			}
+		}
+	}
+	return res
+}
+
+// Visit replays the transfer function through every reached block,
+// calling f with each node and the fact flowing into it. This is how
+// passes read the solved state at interesting nodes (returns, unlocks)
+// without re-deriving block internals.
+func (r *Result) Visit(g *Graph, f func(n ast.Node, before any)) {
+	for _, blk := range g.Blocks {
+		in, reached := r.In[blk]
+		if !reached {
+			continue
+		}
+		fact := in
+		for _, n := range blk.Nodes {
+			f(n, fact)
+			fact = r.a.Transfer(n, fact)
+		}
+	}
+}
+
+// postorder returns the blocks reachable from entry in DFS postorder.
+func postorder(g *Graph) []*Block {
+	seen := make(map[*Block]bool, len(g.Blocks))
+	var order []*Block
+	var dfs func(*Block)
+	dfs = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			dfs(s)
+		}
+		order = append(order, b)
+	}
+	dfs(g.Entry)
+	return order
+}

@@ -1,0 +1,230 @@
+package cfg
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// assignSet is the test fact: the set of variable names assigned so far.
+type assignSet map[string]bool
+
+func (s assignSet) clone() assignSet {
+	out := make(assignSet, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func (s assignSet) names() string {
+	var ns []string
+	for k := range s {
+		ns = append(ns, k)
+	}
+	sort.Strings(ns)
+	return strings.Join(ns, ",")
+}
+
+// assignTransfer records simple `x = ...` / `x := ...` assignments.
+func assignTransfer(n ast.Node, in any) any {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok {
+		return in
+	}
+	out := in.(assignSet).clone()
+	for _, l := range as.Lhs {
+		if id, ok := l.(*ast.Ident); ok && id.Name != "_" {
+			out[id.Name] = true
+		}
+	}
+	return out
+}
+
+func setEqual(a, b any) bool {
+	as, bs := a.(assignSet), b.(assignSet)
+	if len(as) != len(bs) {
+		return false
+	}
+	for k := range as {
+		if !bs[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func unionJoin(a, b any) any {
+	out := a.(assignSet).clone()
+	for k := range b.(assignSet) {
+		out[k] = true
+	}
+	return out
+}
+
+func intersectJoin(a, b any) any {
+	as, bs := a.(assignSet), b.(assignSet)
+	out := make(assignSet)
+	for k := range as {
+		if bs[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// factAtReturn solves the analysis and returns the fact flowing into the
+// first return statement (explicit or implicit).
+func factAtReturn(t *testing.T, g *Graph, a Analysis) assignSet {
+	t.Helper()
+	res := Forward(g, a)
+	var got assignSet
+	res.Visit(g, func(n ast.Node, before any) {
+		switch n.(type) {
+		case *ast.ReturnStmt, *ImplicitReturn:
+			if got == nil {
+				got = before.(assignSet)
+			}
+		}
+	})
+	if got == nil {
+		t.Fatal("no return reached")
+	}
+	return got
+}
+
+func TestMustAssignIntersectsBranches(t *testing.T) {
+	_, g := build(t, `func f(c bool) int {
+		var x, y int
+		if c {
+			x = 1
+		} else {
+			x = 2
+			y = 3
+		}
+		return x + y
+	}`)
+	must := factAtReturn(t, g, Analysis{
+		Entry:    assignSet{},
+		Transfer: assignTransfer,
+		Join:     intersectJoin,
+		Equal:    setEqual,
+	})
+	if got := must.names(); got != "x" {
+		t.Fatalf("must-assigned at return = {%s}, want {x} (y only on one branch)", got)
+	}
+	may := factAtReturn(t, g, Analysis{
+		Entry:    assignSet{},
+		Transfer: assignTransfer,
+		Join:     unionJoin,
+		Equal:    setEqual,
+	})
+	if got := may.names(); got != "x,y" {
+		t.Fatalf("may-assigned at return = {%s}, want {x,y}", got)
+	}
+}
+
+func TestLoopFixpointConverges(t *testing.T) {
+	_, g := build(t, `func f(n int) int {
+		s := 0
+		for i := 0; i < n; i++ {
+			y := i
+			s = s + y
+		}
+		return s
+	}`)
+	// Must: the loop may run zero times, so y is not must-assigned at the
+	// return, while s (assigned before the loop) is.
+	must := factAtReturn(t, g, Analysis{
+		Entry:    assignSet{},
+		Transfer: assignTransfer,
+		Join:     intersectJoin,
+		Equal:    setEqual,
+	})
+	if got := must.names(); got != "i,s" {
+		t.Fatalf("must-assigned at return = {%s}, want {i,s}", got)
+	}
+	// May: the back edge feeds y into the loop head and out the exit edge.
+	may := factAtReturn(t, g, Analysis{
+		Entry:    assignSet{},
+		Transfer: assignTransfer,
+		Join:     unionJoin,
+		Equal:    setEqual,
+	})
+	if got := may.names(); got != "i,s,y" {
+		t.Fatalf("may-assigned at return = {%s}, want {i,s,y}", got)
+	}
+}
+
+func TestSelectJoinAcrossClauses(t *testing.T) {
+	_, g := build(t, `func f(a, b chan int) int {
+		var x, y int
+		select {
+		case v := <-a:
+			x = v
+		case w := <-b:
+			x = w
+			y = w
+		}
+		return x + y
+	}`)
+	must := factAtReturn(t, g, Analysis{
+		Entry:    assignSet{},
+		Transfer: assignTransfer,
+		Join:     intersectJoin,
+		Equal:    setEqual,
+	})
+	if got := must.names(); got != "x" {
+		t.Fatalf("must-assigned after select = {%s}, want {x}", got)
+	}
+}
+
+func TestUnreachableBlocksHaveNoFacts(t *testing.T) {
+	_, g := build(t, `func f() int {
+		x := 1
+		return x
+		x = 2
+		return x
+	}`)
+	res := Forward(g, Analysis{
+		Entry:    assignSet{},
+		Transfer: assignTransfer,
+		Join:     unionJoin,
+		Equal:    setEqual,
+	})
+	for b := range res.In {
+		if len(b.Preds) == 0 && b != g.Entry {
+			t.Fatalf("unreachable block b%d received a fact:\n%s", b.Index, g)
+		}
+	}
+}
+
+func TestVisitSeesIntermediateFacts(t *testing.T) {
+	_, g := build(t, `func f() int {
+		a := 1
+		b := 2
+		return a + b
+	}`)
+	res := Forward(g, Analysis{
+		Entry:    assignSet{},
+		Transfer: assignTransfer,
+		Join:     unionJoin,
+		Equal:    setEqual,
+	})
+	var seq []string
+	res.Visit(g, func(n ast.Node, before any) {
+		seq = append(seq, before.(assignSet).names())
+	})
+	// Before a:=1 nothing; before b:=2 {a}; before the return {a,b};
+	// before the exit nothing more is visited (exit has no nodes).
+	want := []string{"", "a", "a,b"}
+	if len(seq) != len(want) {
+		t.Fatalf("visited %d nodes, want %d: %v", len(seq), len(want), seq)
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("visit %d saw {%s}, want {%s}", i, seq[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"guardedop/internal/lint/cfg"
+)
+
+// CtxCancelPass proves, path-sensitively, that every cancel function
+// returned by context.WithCancel / WithTimeout / WithDeadline (and their
+// Cause variants) is invoked on every path from its creation to a
+// return. A forgotten cancel leaks the context's timer and goroutine
+// until the parent dies — in the serving layer that parent is the server
+// lifetime, so one missed early return turns every shed request into a
+// permanent goroutine. The old AST-local rules could not see this; the
+// pass runs a must-cancel dataflow over the package cfg engine.
+//
+// A `defer cancel()` counts as cancellation at its push point: a
+// deferred call pushed on a path is guaranteed to run when that path
+// leaves the function. A defer inside a conditional or a loop therefore
+// only covers the paths that actually execute it — exactly the flight
+// -lifetime bug class this rule exists for.
+//
+// Assigning the cancel func to the blank identifier is reported
+// outright. A cancel func that escapes the function — stored in a
+// struct, passed as an argument, returned, or captured by a closure — is
+// assumed to be someone else's responsibility and is not tracked
+// (reporting it would second-guess deliberate lifecycle handoffs like
+// the server's shutdown cancel).
+type CtxCancelPass struct{}
+
+// Name implements Pass.
+func (CtxCancelPass) Name() string { return "ctxcancel" }
+
+// Doc implements Pass.
+func (CtxCancelPass) Doc() string {
+	return "context cancel funcs must be called (or deferred) on every path to return"
+}
+
+// cancelFact is the dataflow fact: the set of cancel-func objects that
+// are live (created on this path and not yet canceled). May-analysis:
+// join is union, so a variable canceled on only one arm stays live.
+type cancelFact map[types.Object]bool
+
+func (f cancelFact) clone() cancelFact {
+	out := make(cancelFact, len(f))
+	for k := range f {
+		out[k] = true
+	}
+	return out
+}
+
+// Run implements Pass.
+func (p CtxCancelPass) Run(u *Unit) []Diagnostic {
+	var out []Diagnostic
+	for _, fb := range funcBodies(u) {
+		out = append(out, p.checkBody(u, fb)...)
+	}
+	return out
+}
+
+// cancelVar is one tracked cancel function variable.
+type cancelVar struct {
+	obj     types.Object
+	created token.Pos // the context.With* call position
+	fn      string    // "WithCancel", ... for the message
+}
+
+// checkBody analyzes one function body.
+func (p CtxCancelPass) checkBody(u *Unit, fb funcBody) []Diagnostic {
+	var out []Diagnostic
+
+	// Pass 1: find cancel-creating assignments directly in this body.
+	vars := make(map[types.Object]*cancelVar)
+	for _, stmt := range bodyStmts(fb.body) {
+		inspectShallow(stmt, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+				return true
+			}
+			call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := contextWithFunc(u, call)
+			if fn == "" {
+				return true
+			}
+			id, ok := as.Lhs[1].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if id.Name == "_" {
+				out = append(out, diag(u, call.Pos(), p.Name(),
+					"the cancel function returned by context.%s is discarded: a context without its cancel leaks until the parent dies", fn))
+				return true
+			}
+			obj := u.Info.Defs[id]
+			if obj == nil {
+				obj = u.Info.Uses[id]
+			}
+			if obj != nil {
+				vars[obj] = &cancelVar{obj: obj, created: call.Pos(), fn: fn}
+			}
+			return true
+		})
+	}
+	if len(vars) == 0 {
+		return out
+	}
+
+	// Pass 2: drop variables that escape. Any use that is not the callee
+	// of a direct call in *this* body (or the defining assignment) hands
+	// the cancel to someone else — including captures by nested literals.
+	calls := directCancelCalls(fb.body, u, vars)
+	ast.Inspect(fb.body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := u.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if _, tracked := vars[obj]; tracked && !calls[id] {
+			delete(vars, obj)
+		}
+		return true
+	})
+	if len(vars) == 0 {
+		return out
+	}
+
+	// Pass 3: must-cancel dataflow over the CFG.
+	g := cfg.New(fb.body)
+	res := cfg.Forward(g, cfg.Analysis{
+		Entry: cancelFact{},
+		Transfer: func(n ast.Node, in any) any {
+			fact := in.(cancelFact)
+			var next cancelFact
+			mutate := func() cancelFact {
+				if next == nil {
+					next = fact.clone()
+				}
+				return next
+			}
+			inspectShallow(n, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.AssignStmt:
+					if len(m.Rhs) == 1 && len(m.Lhs) == 2 {
+						if call, ok := ast.Unparen(m.Rhs[0]).(*ast.CallExpr); ok && contextWithFunc(u, call) != "" {
+							if id, ok := m.Lhs[1].(*ast.Ident); ok {
+								if obj := objOf(u, id); obj != nil {
+									if _, tracked := vars[obj]; tracked {
+										mutate()[obj] = true
+									}
+								}
+							}
+						}
+					}
+				case *ast.CallExpr:
+					if id, ok := ast.Unparen(m.Fun).(*ast.Ident); ok {
+						if obj := u.Info.Uses[id]; obj != nil {
+							if _, tracked := vars[obj]; tracked {
+								delete(mutate(), obj)
+							}
+						}
+					}
+				}
+				return true
+			})
+			if next != nil {
+				return next
+			}
+			return fact
+		},
+		Join: func(a, b any) any {
+			af, bf := a.(cancelFact), b.(cancelFact)
+			out := af.clone()
+			for k := range bf {
+				out[k] = true
+			}
+			return out
+		},
+		Equal: func(a, b any) bool {
+			af, bf := a.(cancelFact), b.(cancelFact)
+			if len(af) != len(bf) {
+				return false
+			}
+			for k := range af {
+				if !bf[k] {
+					return false
+				}
+			}
+			return true
+		},
+	})
+
+	// Any return reached with a live cancel is a leak. Report once per
+	// variable, at the creation site, naming the first offending return.
+	reported := make(map[types.Object]bool)
+	res.Visit(g, func(n ast.Node, before any) {
+		switch n.(type) {
+		case *ast.ReturnStmt, *cfg.ImplicitReturn:
+		default:
+			return
+		}
+		fact := before.(cancelFact)
+		for obj := range fact {
+			v := vars[obj]
+			if v == nil || reported[obj] {
+				continue
+			}
+			reported[obj] = true
+			out = append(out, diag(u, v.created, p.Name(),
+				"%s's cancel function is not called on the path returning at line %d: call it or defer it on every path",
+				"context."+v.fn, u.Fset.Position(n.Pos()).Line))
+		}
+	})
+	return out
+}
+
+// bodyStmts returns the body's statements for shallow scanning.
+func bodyStmts(body *ast.BlockStmt) []ast.Stmt { return body.List }
+
+// directCancelCalls finds the identifiers of tracked cancel vars that
+// appear as the callee of a direct call (or deferred call) in the body,
+// outside nested function literals.
+func directCancelCalls(body *ast.BlockStmt, u *Unit, vars map[types.Object]*cancelVar) map[*ast.Ident]bool {
+	calls := make(map[*ast.Ident]bool)
+	for _, stmt := range body.List {
+		inspectShallow(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if obj := u.Info.Uses[id]; obj != nil {
+				if _, tracked := vars[obj]; tracked {
+					calls[id] = true
+				}
+			}
+			return true
+		})
+	}
+	return calls
+}
+
+// objOf resolves an identifier to its object, definition or use.
+func objOf(u *Unit, id *ast.Ident) types.Object {
+	if obj := u.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return u.Info.Uses[id]
+}
+
+// contextWithFunc returns the bare name ("WithCancel", "WithTimeout",
+// "WithDeadline", or a Cause variant) when call is one of the
+// cancel-returning context constructors, and "" otherwise.
+func contextWithFunc(u *Unit, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := u.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	switch fn.Name() {
+	case "WithCancel", "WithTimeout", "WithDeadline",
+		"WithCancelCause", "WithTimeoutCause", "WithDeadlineCause":
+		return fn.Name()
+	}
+	return ""
+}

@@ -1,0 +1,250 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// robustPkgPath and obsPkgPath locate the two vocabulary-bearing
+// packages. The pass reads both vocabularies out of type-checked export
+// data, so it needs no compile-time dependency on either package and
+// works identically whether the linted unit is the package itself or an
+// importer.
+const (
+	robustPkgPath = "guardedop/internal/robust"
+	obsPkgPath    = "guardedop/internal/obs"
+)
+
+// ExhaustivePass keeps the repository's two closed vocabularies closed:
+//
+//   - the robustness error taxonomy (robust.Class): a switch over a
+//     Class-typed value with no default clause, and any Class-keyed map
+//     literal, must name every Class constant. The HTTP status table is
+//     the motivating site — a class added to the taxonomy without a
+//     deliberate status entry would silently fall through to 500, and
+//     the runtime table test only catches it when tests run; this pass
+//     catches it at lint time with the line of the incomplete literal.
+//   - the observability counter vocabulary (obs.Ctr*): a constant
+//     counter name handed to obs.Count or (*obs.Tracer).Count must be
+//     the value of one of the Ctr constants. Free-form names fragment
+//     dashboards — "cache.hit" and "cache.hits" chart as two series.
+//     Dynamically built names (fields, parameters) are out of scope.
+//
+// Both vocabularies are discovered from the constants the type-checker
+// sees, so extending one is a single const addition — the pass follows.
+type ExhaustivePass struct{}
+
+// Name implements Pass.
+func (ExhaustivePass) Name() string { return "exhaustive" }
+
+// Doc implements Pass.
+func (ExhaustivePass) Doc() string {
+	return "robust.Class switches/maps must cover the taxonomy; counter names must be obs.Ctr* values"
+}
+
+// Run implements Pass.
+func (p ExhaustivePass) Run(u *Unit) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range u.Files {
+		if isTestFile(u, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SwitchStmt:
+				out = append(out, p.checkSwitch(u, n)...)
+			case *ast.CompositeLit:
+				out = append(out, p.checkMapLit(u, n)...)
+			case *ast.CallExpr:
+				out = append(out, p.checkCounterName(u, n)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkSwitch reports taxonomy classes missing from a Class-typed switch
+// that has no default clause.
+func (p ExhaustivePass) checkSwitch(u *Unit, sw *ast.SwitchStmt) []Diagnostic {
+	if sw.Tag == nil {
+		return nil
+	}
+	tv, ok := u.Info.Types[sw.Tag]
+	if !ok || !isRobustClass(tv.Type) {
+		return nil
+	}
+	vocab := classVocabulary(tv.Type)
+	if vocab == nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	for _, clause := range sw.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return nil // default clause: the remainder is handled deliberately
+		}
+		for _, e := range cc.List {
+			if v, ok := constStringOf(u, e); ok {
+				seen[v] = true
+			}
+		}
+	}
+	missing := missingFrom(vocab, seen)
+	if len(missing) == 0 {
+		return nil
+	}
+	return []Diagnostic{diag(u, sw.Switch, p.Name(),
+		"switch over robust.Class does not cover: %s (add the cases or a deliberate default)",
+		strings.Join(missing, ", "))}
+}
+
+// checkMapLit reports taxonomy classes missing from a Class-keyed map
+// literal. Unlike a switch there is no default to hide behind: the map
+// either names the whole taxonomy or some class falls through whatever
+// lookup-miss path the caller wrote.
+func (p ExhaustivePass) checkMapLit(u *Unit, lit *ast.CompositeLit) []Diagnostic {
+	tv, ok := u.Info.Types[lit]
+	if !ok {
+		return nil
+	}
+	m, ok := tv.Type.Underlying().(*types.Map)
+	if !ok || !isRobustClass(m.Key()) {
+		return nil
+	}
+	vocab := classVocabulary(m.Key())
+	if vocab == nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if v, ok := constStringOf(u, kv.Key); ok {
+			seen[v] = true
+		}
+	}
+	missing := missingFrom(vocab, seen)
+	if len(missing) == 0 {
+		return nil
+	}
+	return []Diagnostic{diag(u, lit.Pos(), p.Name(),
+		"robust.Class-keyed map literal is missing: %s", strings.Join(missing, ", "))}
+}
+
+// checkCounterName reports constant counter names outside the obs.Ctr*
+// vocabulary at obs.Count / (*obs.Tracer).Count call sites.
+func (p ExhaustivePass) checkCounterName(u *Unit, call *ast.CallExpr) []Diagnostic {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := u.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "Count" || fn.Pkg() == nil || fn.Pkg().Path() != obsPkgPath {
+		return nil
+	}
+	// Package function Count(ctx, name, delta) carries the name second;
+	// the Tracer method Count(name, delta) carries it first.
+	argIdx := 1
+	if fn.Type().(*types.Signature).Recv() != nil {
+		argIdx = 0
+	}
+	if len(call.Args) <= argIdx {
+		return nil
+	}
+	name, ok := constStringOf(u, call.Args[argIdx])
+	if !ok {
+		return nil // dynamically built name: out of scope
+	}
+	vocab := ctrVocabulary(fn.Pkg())
+	if vocab == nil || vocab[name] {
+		return nil
+	}
+	return []Diagnostic{diag(u, call.Args[argIdx].Pos(), p.Name(),
+		"counter name %q is not the value of any obs.Ctr* constant: add one to the vocabulary or reuse an existing counter", name)}
+}
+
+// isRobustClass reports whether t is the named type robust.Class.
+func isRobustClass(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Class" && obj.Pkg() != nil && obj.Pkg().Path() == robustPkgPath
+}
+
+// classVocabulary enumerates the string values of every Class-typed
+// constant in the robust package's scope, reading the same export data
+// the type-checker used.
+func classVocabulary(classType types.Type) map[string]bool {
+	named, ok := classType.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil
+	}
+	scope := named.Obj().Pkg().Scope()
+	vocab := make(map[string]bool)
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), classType) {
+			continue
+		}
+		if c.Val().Kind() == constant.String {
+			vocab[constant.StringVal(c.Val())] = true
+		}
+	}
+	if len(vocab) == 0 {
+		return nil
+	}
+	return vocab
+}
+
+// ctrVocabulary enumerates the string values of the obs package's Ctr*
+// constants.
+func ctrVocabulary(pkg *types.Package) map[string]bool {
+	scope := pkg.Scope()
+	vocab := make(map[string]bool)
+	for _, name := range scope.Names() {
+		if !strings.HasPrefix(name, "Ctr") {
+			continue
+		}
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || c.Val().Kind() != constant.String {
+			continue
+		}
+		vocab[constant.StringVal(c.Val())] = true
+	}
+	if len(vocab) == 0 {
+		return nil
+	}
+	return vocab
+}
+
+// constStringOf resolves e to its compile-time string value, if it has one.
+func constStringOf(u *Unit, e ast.Expr) (string, bool) {
+	tv, ok := u.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// missingFrom returns vocab's entries absent from seen, sorted.
+func missingFrom(vocab, seen map[string]bool) []string {
+	var out []string
+	for v := range vocab {
+		if !seen[v] {
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

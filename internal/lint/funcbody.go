@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+
+	"guardedop/internal/lint/cfg"
+)
+
+// funcBody is one analyzable function body: a top-level declaration or a
+// function literal. The flow-sensitive passes build one CFG per body and
+// analyze each independently — a literal's paths are its own, not its
+// enclosing function's.
+type funcBody struct {
+	// decl is the enclosing top-level declaration (for diagnostics and
+	// test-file filtering); nil only for package-level literals.
+	decl *ast.FuncDecl
+	// lit is the literal itself when the body belongs to one.
+	lit *ast.FuncLit
+	// body is the block to analyze.
+	body *ast.BlockStmt
+}
+
+// funcBodies enumerates every function body of the unit's non-test files:
+// each FuncDecl body and, separately, each FuncLit body (at any nesting
+// depth), so no statement is analyzed under two different CFGs.
+func funcBodies(u *Unit) []funcBody {
+	var out []funcBody
+	for _, f := range u.Files {
+		if isTestFile(u, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, funcBody{decl: fd, body: fd.Body})
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					out = append(out, funcBody{decl: fd, lit: lit, body: lit.Body})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// inspectShallow walks n like ast.Inspect but does not descend into
+// nested function literals: a CFG node's effects are its own statements',
+// not those of closures it merely creates. Synthetic cfg nodes (which are
+// not part of the go/ast node taxonomy) are skipped entirely.
+func inspectShallow(n ast.Node, f func(ast.Node) bool) {
+	if _, ok := n.(*cfg.ImplicitReturn); ok {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		return f(m)
+	})
+}

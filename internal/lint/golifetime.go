@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoLifetimePass requires every `go` statement in a library package to
+// carry a visible termination signal. A goroutine nothing can join or
+// cancel outlives the request (or the test, or the batch) that spawned
+// it; under the daemon it accumulates until the process dies. The pass
+// does not try to prove termination — that is undecidable — it checks
+// for the idioms that make a lifetime auditable:
+//
+//   - the goroutine body calls Done on a sync.WaitGroup (someone Waits),
+//   - the goroutine body touches a channel — send, receive, close, or a
+//     range over one — tying it to a peer that can unblock or drain it,
+//   - the goroutine body consults a context (ctx.Done, ctx.Err), so
+//     cancellation reaches it; or
+//   - a named callee is handed a channel, *sync.WaitGroup, or
+//     context.Context argument, delegating one of the above.
+//
+// A deliberate detached goroutine (a process-lifetime acceptor loop, for
+// instance) is fine — but it must say so with a
+// `//lint:ignore golifetime <reason>` so the justification is in the
+// diff, not in somebody's head. Commands are exempt: a main package's
+// goroutines die with the process by construction.
+type GoLifetimePass struct{}
+
+// Name implements Pass.
+func (GoLifetimePass) Name() string { return "golifetime" }
+
+// Doc implements Pass.
+func (GoLifetimePass) Doc() string {
+	return "library goroutines must have a bounded lifetime (WaitGroup, channel, or context)"
+}
+
+// Run implements Pass.
+func (p GoLifetimePass) Run(u *Unit) []Diagnostic {
+	if u.IsCommand {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range u.Files {
+		if isTestFile(u, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !p.bounded(u, gs.Call) {
+				out = append(out, diag(u, gs.Pos(), p.Name(),
+					"goroutine has no visible termination signal (WaitGroup.Done, channel op, or context check): join it, make it cancelable, or justify it with //lint:ignore golifetime <reason>"))
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// bounded reports whether the spawned call carries a lifetime signal.
+func (p GoLifetimePass) bounded(u *Unit, call *ast.CallExpr) bool {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return bodyHasLifetimeSignal(u, lit)
+	}
+	// Named callee: a lifetime-bearing argument delegates the signal.
+	for _, arg := range call.Args {
+		if tv, ok := u.Info.Types[arg]; ok && isLifetimeType(tv.Type) {
+			return true
+		}
+	}
+	// A method whose receiver is itself a channel-ish value is out of
+	// scope; the receiver expression is part of Fun, so check its base.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if tv, ok := u.Info.Types[sel.X]; ok && isLifetimeType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// bodyHasLifetimeSignal scans a goroutine literal's body (including its
+// nested literals — a signal handled by an inner closure the goroutine
+// runs still bounds it) for any of the recognised idioms.
+func bodyHasLifetimeSignal(u *Unit, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := u.Info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(n.Fun).(type) {
+			case *ast.Ident:
+				if fun.Name == "close" && u.Info.Uses[fun] == types.Universe.Lookup("close") {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if isLifetimeMethod(u, fun) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isLifetimeMethod reports whether sel is WaitGroup.Done/Wait or a
+// context's Done/Err — the method forms of the termination idioms.
+func isLifetimeMethod(u *Unit, sel *ast.SelectorExpr) bool {
+	fn, ok := u.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sync":
+		recv := fn.Type().(*types.Signature).Recv()
+		if recv == nil {
+			return false
+		}
+		if ptr, ok := recv.Type().(*types.Pointer); ok {
+			if named, ok := ptr.Elem().(*types.Named); ok && named.Obj().Name() == "WaitGroup" {
+				return fn.Name() == "Done" || fn.Name() == "Wait"
+			}
+		}
+	case "context":
+		return fn.Name() == "Done" || fn.Name() == "Err"
+	}
+	return false
+}
+
+// isLifetimeType reports whether t is a channel, *sync.WaitGroup, or
+// context.Context — the types whose possession implies a join/cancel
+// protocol with the spawner.
+func isLifetimeType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() == nil {
+			return false
+		}
+		switch {
+		case obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup":
+			return true
+		case obj.Pkg().Path() == "context" && obj.Name() == "Context":
+			return true
+		}
+	}
+	return false
+}

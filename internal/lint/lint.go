@@ -75,6 +75,10 @@ func AllPasses() []Pass {
 		LibPanicPass{},
 		CtxFlowPass{},
 		ProbRangePass{},
+		CtxCancelPass{},
+		LockBalancePass{},
+		GoLifetimePass{},
+		ExhaustivePass{},
 	}
 	sort.Slice(passes, func(i, j int) bool { return passes[i].Name() < passes[j].Name() })
 	return passes

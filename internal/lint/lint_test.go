@@ -32,7 +32,9 @@ func (e expectation) String() string {
 	return fmt.Sprintf("%s:%d: %s", filepath.Base(e.file), e.line, e.rule)
 }
 
-var wantRe = regexp.MustCompile(`// want (\S+)`)
+// wantRe matches "// want rule1 rule2 ...": one marker may expect
+// several rules when a single line violates more than one.
+var wantRe = regexp.MustCompile(`// want ((?:\S+ ?)+)`)
 
 // scanWants extracts the expectations seeded in the fixture sources.
 func scanWants(t *testing.T, dir string) []expectation {
@@ -54,7 +56,9 @@ func scanWants(t *testing.T, dir string) []expectation {
 		sc := bufio.NewScanner(f)
 		for line := 1; sc.Scan(); line++ {
 			if m := wantRe.FindStringSubmatch(sc.Text()); m != nil {
-				out = append(out, expectation{file: e.Name(), line: line, rule: m[1]})
+				for _, rule := range strings.Fields(m[1]) {
+					out = append(out, expectation{file: e.Name(), line: line, rule: rule})
+				}
 			}
 		}
 		if err := sc.Err(); err != nil {
@@ -70,7 +74,10 @@ func scanWants(t *testing.T, dir string) []expectation {
 // TestGoldenFixtures checks, for every rule, that the seeded violations are
 // reported at exactly the expected file/line and that nothing else is.
 func TestGoldenFixtures(t *testing.T) {
-	fixtures := []string{"errcheckfix", "floateqfix", "libpanicfix", "ctxflowfix", "probrangefix"}
+	fixtures := []string{
+		"errcheckfix", "floateqfix", "libpanicfix", "ctxflowfix", "probrangefix",
+		"ctxcancelfix", "lockbalancefix", "golifetimefix", "exhaustivefix",
+	}
 	for _, name := range fixtures {
 		t.Run(name, func(t *testing.T) {
 			units := loadFixture(t, name)
@@ -128,8 +135,8 @@ func TestSelectPasses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(all) != 5 {
-		t.Fatalf("got %d passes, want 5", len(all))
+	if len(all) != 9 {
+		t.Fatalf("got %d passes, want 9", len(all))
 	}
 	two, err := SelectPasses("floateq, errcheck")
 	if err != nil {

@@ -1,0 +1,258 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"guardedop/internal/lint/cfg"
+)
+
+// LockBalancePass checks that sync.Mutex / sync.RWMutex acquisitions are
+// balanced on every control-flow path. The two bug shapes it exists for:
+//
+//   - return-while-held: an early `return err` between Lock and Unlock
+//     leaves the mutex locked forever (the cache and coalescer both use
+//     the early-unlock-then-return idiom, which is one edit away from
+//     this bug);
+//   - unlock-while-unheld: an Unlock on a path where no Lock ran, which
+//     panics at runtime.
+//
+// The pass tracks, per lock expression (keyed by its printed receiver,
+// with read and write sides of an RWMutex tracked independently), the
+// set of possible hold depths along each path. A `defer mu.Unlock()` is
+// credited at its push point: a defer pushed on a path is guaranteed to
+// run before that path leaves the function, so the exit balance is what
+// matters. Both diagnostics fire only on "must" conditions — a return is
+// flagged only when every path reaching it holds the lock, an unlock
+// only when no path reaching it can hold it — so merge points with
+// correlated conditions do not produce noise. Unlock-while-unheld is
+// additionally reported only in bodies that also lock the same key,
+// which exempts dedicated unlock-helper methods and unlocking closures.
+type LockBalancePass struct{}
+
+// Name implements Pass.
+func (LockBalancePass) Name() string { return "lockbalance" }
+
+// Doc implements Pass.
+func (LockBalancePass) Doc() string {
+	return "mutex Lock/Unlock (and RLock/RUnlock) must balance on every path"
+}
+
+// maxLockDepth caps tracked recursion: depths beyond it saturate, which
+// keeps the fact lattice finite (Go mutexes are not recursive, so real
+// code never gets near it).
+const maxLockDepth = 4
+
+// lockFact maps a lock key to a bitmask of its possible hold depths
+// (bit d set = some path reaches here holding the lock d times). A key
+// absent from the map is definitely unheld (mask 1<<0).
+type lockFact map[string]uint8
+
+func (f lockFact) clone() lockFact {
+	out := make(lockFact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+func (f lockFact) mask(key string) uint8 {
+	if m, ok := f[key]; ok {
+		return m
+	}
+	return 1 << 0
+}
+
+// lockOp is one Lock/Unlock-family call found in a CFG node.
+type lockOp struct {
+	key     string // receiver expr + "/r" or "/w"
+	acquire bool
+	call    *ast.CallExpr
+}
+
+// Run implements Pass.
+func (p LockBalancePass) Run(u *Unit) []Diagnostic {
+	var out []Diagnostic
+	for _, fb := range funcBodies(u) {
+		out = append(out, p.checkBody(u, fb)...)
+	}
+	return out
+}
+
+func (p LockBalancePass) checkBody(u *Unit, fb funcBody) []Diagnostic {
+	// A body with no lock operations at all is the common case; skip the
+	// CFG build entirely.
+	locked := make(map[string]bool) // keys acquired somewhere in this body
+	anyOp := false
+	for _, stmt := range fb.body.List {
+		inspectShallow(stmt, func(n ast.Node) bool {
+			if op := lockOpOf(u, n); op != nil {
+				anyOp = true
+				if op.acquire {
+					locked[op.key] = true
+				}
+			}
+			return true
+		})
+	}
+	if !anyOp {
+		return nil
+	}
+
+	var out []Diagnostic
+	g := cfg.New(fb.body)
+	res := cfg.Forward(g, cfg.Analysis{
+		Entry: lockFact{},
+		Transfer: func(n ast.Node, in any) any {
+			fact := in.(lockFact)
+			var next lockFact
+			inspectShallow(n, func(m ast.Node) bool {
+				op := lockOpOf(u, m)
+				if op == nil {
+					return true
+				}
+				if next == nil {
+					next = fact.clone()
+				}
+				mask := next.mask(op.key)
+				if op.acquire {
+					shifted := mask << 1
+					if mask&(1<<maxLockDepth) != 0 {
+						shifted |= 1 << maxLockDepth // saturate
+					}
+					next[op.key] = shifted & ((1 << (maxLockDepth + 1)) - 1)
+				} else {
+					shifted := mask >> 1
+					if mask&1 != 0 {
+						shifted |= 1 // unlocking while unheld stays unheld
+					}
+					next[op.key] = shifted
+				}
+				return true
+			})
+			if next != nil {
+				return next
+			}
+			return fact
+		},
+		Join: func(a, b any) any {
+			af, bf := a.(lockFact), b.(lockFact)
+			out := af.clone()
+			for k, v := range bf {
+				out[k] = out.mask(k) | v
+			}
+			for k := range af {
+				if _, ok := bf[k]; !ok {
+					out[k] = out.mask(k) | 1<<0
+				}
+			}
+			return out
+		},
+		Equal: func(a, b any) bool {
+			af, bf := a.(lockFact), b.(lockFact)
+			keys := make(map[string]bool, len(af)+len(bf))
+			for k := range af {
+				keys[k] = true
+			}
+			for k := range bf {
+				keys[k] = true
+			}
+			for k := range keys {
+				if af.mask(k) != bf.mask(k) {
+					return false
+				}
+			}
+			return true
+		},
+	})
+
+	res.Visit(g, func(n ast.Node, before any) {
+		fact := before.(lockFact)
+		switch n.(type) {
+		case *ast.ReturnStmt, *cfg.ImplicitReturn:
+			for key, mask := range fact {
+				if mask != 0 && mask&1 == 0 {
+					out = append(out, diag(u, n.Pos(), p.Name(),
+						"%s is still held on this return: every path from its Lock must reach an Unlock (or defer one)", keyLabel(key)))
+				}
+			}
+			return
+		}
+		inspectShallow(n, func(m ast.Node) bool {
+			op := lockOpOf(u, m)
+			if op == nil || op.acquire {
+				return true
+			}
+			if fact.mask(op.key) == 1<<0 && locked[op.key] {
+				out = append(out, diag(u, op.call.Pos(), p.Name(),
+					"%s cannot be held here: this unlock runs on a path with no matching Lock and would panic", keyLabel(op.key)))
+			}
+			// Within a multi-op node the fact is stale after the first op,
+			// but nodes are single statements, so at most one op each in
+			// practice; stop after the first to stay sound.
+			return true
+		})
+	})
+	return out
+}
+
+// keyLabel renders a lock key for a diagnostic: "mu" or "s.mu (read side)".
+func keyLabel(key string) string {
+	expr := key[:len(key)-2]
+	if key[len(key)-1] == 'r' {
+		return expr + " (read side)"
+	}
+	return expr
+}
+
+// lockOpOf recognizes mu.Lock / mu.Unlock / mu.RLock / mu.RUnlock where
+// the method is sync.Mutex's or sync.RWMutex's (including promoted
+// embedded fields), and returns the op keyed by the receiver's printed
+// form plus the read/write side. TryLock/TryRLock are ignored: their
+// success is a runtime value no path-insensitive key can model.
+func lockOpOf(u *Unit, n ast.Node) *lockOp {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := u.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil
+	}
+	ptr, ok := recv.Type().(*types.Pointer)
+	if !ok {
+		return nil
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return nil
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+	default:
+		return nil
+	}
+	var acquire bool
+	var side string
+	switch fn.Name() {
+	case "Lock":
+		acquire, side = true, "w"
+	case "Unlock":
+		acquire, side = false, "w"
+	case "RLock":
+		acquire, side = true, "r"
+	case "RUnlock":
+		acquire, side = false, "r"
+	default:
+		return nil
+	}
+	return &lockOp{key: types.ExprString(sel.X) + "/" + side, acquire: acquire, call: call}
+}

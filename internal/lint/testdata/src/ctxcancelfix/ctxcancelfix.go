@@ -1,0 +1,67 @@
+// Package ctxcancelfix seeds ctxcancel violations for the golden lint test.
+package ctxcancelfix
+
+import (
+	"context"
+	"time"
+)
+
+// LeakOnEarlyReturn forgets cancel on the fast path.
+func LeakOnEarlyReturn(ctx context.Context, fast bool) error {
+	wctx, cancel := context.WithCancel(ctx) // want ctxcancel
+	if fast {
+		return work(wctx)
+	}
+	cancel()
+	return work(wctx)
+}
+
+// DiscardedCancel throws the cancel away at birth.
+func DiscardedCancel(ctx context.Context) context.Context {
+	wctx, _ := context.WithTimeout(ctx, time.Second) // want ctxcancel
+	return wctx
+}
+
+// ConditionalDefer pushes the defer on only one branch, so the other
+// branch's return leaks.
+func ConditionalDefer(ctx context.Context, guard bool) error {
+	wctx, cancel := context.WithDeadline(ctx, time.Now().Add(time.Second)) // want ctxcancel
+	if guard {
+		defer cancel()
+	}
+	return work(wctx)
+}
+
+// DeferredImmediately is the canonical correct idiom.
+func DeferredImmediately(ctx context.Context) error {
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return work(wctx)
+}
+
+// CanceledOnEveryPath calls cancel explicitly on both branches.
+func CanceledOnEveryPath(ctx context.Context, fast bool) error {
+	wctx, cancel := context.WithCancel(ctx)
+	if fast {
+		cancel()
+		return nil
+	}
+	err := work(wctx)
+	cancel()
+	return err
+}
+
+// Handoff stores the cancel for a later shutdown: lifecycle ownership
+// moves to the struct, so the pass stays silent.
+type Handoff struct {
+	cancel context.CancelFunc
+}
+
+// NewHandoff hands the cancel func to the returned struct.
+func NewHandoff(ctx context.Context) (*Handoff, context.Context) {
+	wctx, cancel := context.WithCancel(ctx)
+	return &Handoff{cancel: cancel}, wctx
+}
+
+// work consumes the derived context.
+func work(ctx context.Context) error { return ctx.Err() }

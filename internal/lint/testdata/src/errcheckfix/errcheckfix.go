@@ -18,7 +18,7 @@ func Run() float64 {
 	v, _ := Solve()    // want errcheck
 	_ = errors.New("") // want errcheck
 	defer Solve()      // want errcheck
-	go Solve()         // want errcheck
+	go Solve()         // want errcheck golifetime
 
 	//lint:ignore errcheck suppression fixture: this drop is deliberate
 	Solve()

@@ -1,0 +1,68 @@
+// Package exhaustivefix seeds exhaustive violations for the golden lint test.
+package exhaustivefix
+
+import (
+	"context"
+
+	"guardedop/internal/obs"
+	"guardedop/internal/robust"
+)
+
+// retryableByClass forgets most of the taxonomy: only two classes are
+// named and there is no default, so the switch is not exhaustive.
+func retryableByClass(c robust.Class) bool {
+	switch c { // want exhaustive
+	case robust.ClassNotConverged:
+		return true
+	case robust.ClassCanceled:
+		return false
+	}
+	return false
+}
+
+// severityByClass hides the remainder behind a deliberate default, which
+// the rule accepts.
+func severityByClass(c robust.Class) int {
+	switch c {
+	case robust.ClassPanic, robust.ClassInvariant:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// incompleteLabels drops ClassOther from a Class-keyed map literal.
+var incompleteLabels = map[robust.Class]string{ // want exhaustive
+	robust.ClassPanic:           "bug",
+	robust.ClassCanceled:        "deadline",
+	robust.ClassTooManyFailures: "degenerate",
+	robust.ClassNotConverged:    "numeric",
+	robust.ClassIllConditioned:  "numeric",
+	robust.ClassNonFinite:       "numeric",
+	robust.ClassInvariant:       "model",
+}
+
+// completeLabels names the whole taxonomy.
+var completeLabels = map[robust.Class]string{
+	robust.ClassPanic:           "bug",
+	robust.ClassCanceled:        "deadline",
+	robust.ClassTooManyFailures: "degenerate",
+	robust.ClassNotConverged:    "numeric",
+	robust.ClassIllConditioned:  "numeric",
+	robust.ClassNonFinite:       "numeric",
+	robust.ClassInvariant:       "model",
+	robust.ClassOther:           "unknown",
+}
+
+// CountThings exercises the counter-name vocabulary at both call shapes.
+func CountThings(ctx context.Context, tr *obs.Tracer) {
+	obs.Count(ctx, obs.CtrRetries, 1)
+	obs.Count(ctx, "serve.requets", 1) // want exhaustive
+	tr.Count(obs.CtrCacheHits, 1)
+	tr.Count("cache.hit", 1) // want exhaustive
+}
+
+// CountDynamic builds the name at runtime, which is out of scope.
+func CountDynamic(ctx context.Context, name string) {
+	obs.Count(ctx, name, 1)
+}

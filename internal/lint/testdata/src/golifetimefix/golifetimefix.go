@@ -1,0 +1,85 @@
+// Package golifetimefix seeds golifetime violations for the golden lint test.
+package golifetimefix
+
+import (
+	"context"
+	"sync"
+)
+
+// DetachedLoop spawns a goroutine nothing can join or cancel.
+func DetachedLoop() {
+	go spin() // want golifetime
+}
+
+// DetachedLiteral inlines the same leak as a literal.
+func DetachedLiteral(n int) {
+	go func() { // want golifetime
+		for i := 0; i < n; i++ {
+			sink = i
+		}
+	}()
+}
+
+// JoinedByWaitGroup is the canonical bounded spawn.
+func JoinedByWaitGroup(items []int) int {
+	var wg sync.WaitGroup
+	total := 0
+	var mu sync.Mutex
+	for _, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			total += it
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// BoundedBySend ties the goroutine to a reader.
+func BoundedBySend(v int) <-chan int {
+	out := make(chan int, 1)
+	go func() {
+		out <- v * v
+	}()
+	return out
+}
+
+// BoundedByContext consults cancellation.
+func BoundedByContext(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+		sink = 1
+	}()
+}
+
+// DelegatedToCallee hands the callee a channel, so the join protocol is
+// the callee's documented contract.
+func DelegatedToCallee(ch chan int) {
+	go pump(ch)
+}
+
+// JustifiedDetached demonstrates the escape hatch for a deliberate
+// process-lifetime goroutine.
+func JustifiedDetached() {
+	//lint:ignore golifetime metrics flusher runs for the process lifetime by design
+	go spin()
+}
+
+// spin is an unbounded worker body.
+func spin() {
+	for {
+		sink++
+	}
+}
+
+// pump drains its channel and stops when it closes.
+func pump(ch chan int) {
+	for v := range ch {
+		sink = v
+	}
+}
+
+var sink int

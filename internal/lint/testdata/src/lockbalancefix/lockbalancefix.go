@@ -1,0 +1,90 @@
+// Package lockbalancefix seeds lockbalance violations for the golden lint test.
+package lockbalancefix
+
+import "sync"
+
+// Counter guards a running total with a plain mutex.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// HeldOnErrorPath forgets the unlock on the early return.
+func (c *Counter) HeldOnErrorPath(limit int) int {
+	c.mu.Lock()
+	if c.n > limit {
+		return -1 // want lockbalance
+	}
+	c.n++
+	c.mu.Unlock()
+	return c.n
+}
+
+// DoubleUnlock releases twice on the same path.
+func (c *Counter) DoubleUnlock() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	c.mu.Unlock() // want lockbalance
+}
+
+// ForgetsUnlockEntirely never releases before falling off the end.
+func (c *Counter) ForgetsUnlockEntirely() {
+	c.mu.Lock()
+	c.n *= 2
+} // want lockbalance
+
+// Add is the canonical defer idiom.
+func (c *Counter) Add(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += d
+}
+
+// release is a dedicated unlock helper: its body never locks, so the
+// unheld unlock is deliberate and not flagged. (Callers that rely on it
+// are beyond an intraprocedural analysis and are not checked.)
+func (c *Counter) release() { c.mu.Unlock() }
+
+var _ = (*Counter).release
+
+// Table guards a map with an RWMutex; read and write sides are tracked
+// independently.
+type Table struct {
+	mu   sync.RWMutex
+	rows map[string]int
+}
+
+// SnapshotLeaksReadLock returns while still holding the read lock when
+// the key is missing.
+func (t *Table) SnapshotLeaksReadLock(key string) (int, bool) {
+	t.mu.RLock()
+	v, ok := t.rows[key]
+	if !ok {
+		return 0, false // want lockbalance
+	}
+	t.mu.RUnlock()
+	return v, true
+}
+
+// Get uses the early-unlock-then-return idiom correctly on both paths.
+func (t *Table) Get(key string) (int, bool) {
+	t.mu.RLock()
+	v, ok := t.rows[key]
+	if !ok {
+		t.mu.RUnlock()
+		return 0, false
+	}
+	t.mu.RUnlock()
+	return v, true
+}
+
+// Put upgrades correctly: write lock with defer.
+func (t *Table) Put(key string, v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.rows == nil {
+		t.rows = make(map[string]int)
+	}
+	t.rows[key] = v
+}

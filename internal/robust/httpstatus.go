@@ -23,19 +23,21 @@ import (
 //   - "panic" → 500: a recovered programmer error.
 //   - "other" → 500: a failure outside the taxonomy.
 //
-// Every known class appears here explicitly — the table test in
-// httpstatus_test.go fails the build if a class is added to the taxonomy
-// without a deliberate entry, so no known failure ever reaches clients
-// through an accidental default-500 fallthrough.
-var httpStatusByClass = map[string]int{
-	"canceled":          http.StatusGatewayTimeout,
-	"invariant":         http.StatusUnprocessableEntity,
-	"non-finite":        http.StatusUnprocessableEntity,
-	"ill-conditioned":   http.StatusUnprocessableEntity,
-	"too-many-failures": http.StatusUnprocessableEntity,
-	"not-converged":     http.StatusInternalServerError,
-	"panic":             http.StatusInternalServerError,
-	"other":             http.StatusInternalServerError,
+// Every known class appears here explicitly, twice over: the gsulint
+// `exhaustive` pass statically requires a Class-keyed map literal to
+// name every Class constant, and the table test in httpstatus_test.go
+// (driven by AllErrorClasses) fails if an entry is missing at runtime.
+// No known failure ever reaches clients through an accidental
+// default-500 fallthrough.
+var httpStatusByClass = map[Class]int{
+	ClassCanceled:        http.StatusGatewayTimeout,
+	ClassInvariant:       http.StatusUnprocessableEntity,
+	ClassNonFinite:       http.StatusUnprocessableEntity,
+	ClassIllConditioned:  http.StatusUnprocessableEntity,
+	ClassTooManyFailures: http.StatusUnprocessableEntity,
+	ClassNotConverged:    http.StatusInternalServerError,
+	ClassPanic:           http.StatusInternalServerError,
+	ClassOther:           http.StatusInternalServerError,
 }
 
 // HTTPStatus maps an error from the solve stack onto its HTTP status
@@ -48,8 +50,8 @@ func HTTPStatus(err error) int {
 		return http.StatusOK
 	}
 	class := ErrorClass(err)
-	if class == "other" && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
-		class = "canceled"
+	if class == ClassOther && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		class = ClassCanceled
 	}
 	if code, ok := httpStatusByClass[class]; ok {
 		return code

@@ -22,24 +22,33 @@ var taxonomy = []error{
 	ErrTooManyFailures,
 }
 
-// TestHTTPStatusCoversTaxonomy asserts that every typed error in the
-// taxonomy maps to a deliberate status: its ErrorClass label must have an
-// explicit entry in httpStatusByClass, so no known class can ever fall
-// through to the generic 500 by accident.
+// TestHTTPStatusCoversTaxonomy asserts that the status mapping is total
+// over the canonical enumeration: every class in AllErrorClasses has an
+// explicit entry in httpStatusByClass, and every sentinel's class is in
+// the enumeration — so no known failure can ever fall through to the
+// generic 500 by accident. The gsulint `exhaustive` pass enforces the
+// same totality statically from the same constant set; this test is the
+// runtime half of that single source of truth.
 func TestHTTPStatusCoversTaxonomy(t *testing.T) {
+	inEnum := make(map[Class]bool)
+	for _, class := range AllErrorClasses() {
+		inEnum[class] = true
+		if _, ok := httpStatusByClass[class]; !ok {
+			t.Errorf("class %q has no deliberate HTTP status entry", class)
+		}
+	}
+	if got, want := len(httpStatusByClass), len(AllErrorClasses()); got != want {
+		t.Errorf("httpStatusByClass has %d entries, AllErrorClasses has %d: the map carries a class outside the taxonomy", got, want)
+	}
 	for _, sentinel := range taxonomy {
 		class := ErrorClass(sentinel)
-		if class == "" || class == "other" {
+		if class == "" || class == ClassOther {
 			t.Errorf("sentinel %v has no taxonomy class of its own (got %q)", sentinel, class)
 			continue
 		}
-		if _, ok := httpStatusByClass[class]; !ok {
-			t.Errorf("class %q (sentinel %v) has no deliberate HTTP status entry", class, sentinel)
+		if !inEnum[class] {
+			t.Errorf("sentinel %v maps to class %q, which AllErrorClasses does not enumerate", sentinel, class)
 		}
-	}
-	// The fallthrough class itself must also be a deliberate decision.
-	if _, ok := httpStatusByClass["other"]; !ok {
-		t.Error(`class "other" has no deliberate HTTP status entry`)
 	}
 }
 

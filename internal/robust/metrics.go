@@ -80,30 +80,30 @@ func NewMetrics(items, workers int) *Metrics {
 	}
 }
 
-// ErrorClass returns the stable label of err's place in the robustness
-// taxonomy, for counting failures by kind. Wrapped causes are honoured
-// through errors.Is; an error outside the taxonomy is "other", and a nil
-// error is "".
-func ErrorClass(err error) string {
+// ErrorClass returns err's place in the robustness taxonomy, for
+// counting failures by kind. Wrapped causes are honoured through
+// errors.Is; an error outside the taxonomy is ClassOther, and a nil
+// error is the empty Class.
+func ErrorClass(err error) Class {
 	switch {
 	case err == nil:
 		return ""
 	case errors.Is(err, ErrPanic):
-		return "panic"
+		return ClassPanic
 	case errors.Is(err, ErrCanceled):
-		return "canceled"
+		return ClassCanceled
 	case errors.Is(err, ErrTooManyFailures):
-		return "too-many-failures"
+		return ClassTooManyFailures
 	case errors.Is(err, ErrNotConverged):
-		return "not-converged"
+		return ClassNotConverged
 	case errors.Is(err, ErrIllConditioned):
-		return "ill-conditioned"
+		return ClassIllConditioned
 	case errors.Is(err, ErrNonFinite):
-		return "non-finite"
+		return ClassNonFinite
 	case errors.Is(err, ErrInvariant):
-		return "invariant"
+		return ClassInvariant
 	default:
-		return "other"
+		return ClassOther
 	}
 }
 
@@ -115,7 +115,7 @@ func (m *Metrics) countError(err error) {
 	if m.Errors == nil {
 		m.Errors = make(map[string]int64)
 	}
-	m.Errors[ErrorClass(err)]++
+	m.Errors[string(ErrorClass(err))]++
 }
 
 // AddChecks folds one model's per-check verification counters into the

@@ -67,7 +67,7 @@ func TestErrorClass(t *testing.T) {
 		{errors.New("unclassified"), "other"},
 	}
 	for _, c := range cases {
-		if got := ErrorClass(c.err); got != c.want {
+		if got := ErrorClass(c.err); string(got) != c.want {
 			t.Errorf("ErrorClass(%v) = %q, want %q", c.err, got, c.want)
 		}
 	}

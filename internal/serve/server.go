@@ -151,6 +151,7 @@ func (s *Server) Start(addr string) (string, error) {
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	//lint:ignore golifetime the acceptor loop is bounded by http.Server — Shutdown/Close makes Serve return ErrServerClosed
 	go func() {
 		if serr := s.hs.Serve(ln); serr != nil && serr != http.ErrServerClosed {
 			s.logf("serve: %v", serr)
@@ -203,7 +204,7 @@ type errEnvelope struct {
 // taxonomy's status mapping.
 func errorResult(err error) *apiResult {
 	status := robust.HTTPStatus(err)
-	body, merr := json.Marshal(errEnvelope{Error: err.Error(), Class: robust.ErrorClass(err), Status: status})
+	body, merr := json.Marshal(errEnvelope{Error: err.Error(), Class: string(robust.ErrorClass(err)), Status: status})
 	if merr != nil {
 		body = []byte(`{"error":"internal error","status":500}`)
 		status = http.StatusInternalServerError
