@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race race-parallel lint fmt-check selfcheck modelcheck serve-smoke bench bench-curve repro coverage clean
+.PHONY: all build vet test test-short race race-parallel lint fmt-check selfcheck modelcheck serve-smoke bench bench-curve bench-parametric repro coverage clean
 
 all: build lint test
 
@@ -68,6 +68,12 @@ bench:
 # The >=3x budget itself is asserted by TestCurveEngineSolveBudget.
 bench-curve:
 	$(GO) test ./internal/core -run '^$$' -bench 'BenchmarkCurve' -benchtime=1x -benchmem
+
+# Closed-form parametric evaluator vs the numeric engine on a
+# cache-defeating grid (docs/PARAMETRIC.md). The >=100x headroom itself
+# is not asserted here — this surfaces the ns/op pair for the CI artifact.
+bench-parametric:
+	$(GO) test ./internal/core -run '^$$' -bench 'BenchmarkEvaluate(Parametric|Numeric)$$' -benchmem
 
 # Regenerate every table/figure report to stdout.
 repro:

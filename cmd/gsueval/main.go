@@ -88,22 +88,23 @@ func main() {
 func run(args []string) (err error) {
 	fs := flag.NewFlagSet("gsueval", flag.ContinueOnError)
 	var (
-		list       = fs.Bool("list", false, "list available experiments")
-		experiment = fs.String("experiment", "", "run one experiment by id (see -list)")
-		all        = fs.Bool("all", false, "run every experiment")
-		outDir     = fs.String("out", "", "with -all: also write each report to <dir>/<id>.txt")
-		sweepMode  = fs.Bool("sweep", false, "sweep Y(phi) for a custom parameter set")
-		selfcheck  = fs.Bool("selfcheck", false, "run the invariant suite and simulator cross-check as a health gate")
-		modelcheck = fs.Bool("modelcheck", false, "statically verify the translated models and exit")
-		optimize   = fs.Bool("optimize", false, "with -sweep: also refine the optimal phi continuously (golden-section)")
-		csvOut     = fs.Bool("csv", false, "emit CSV data instead of a text report (figure experiments and -sweep)")
-		points     = fs.Int("points", 10, "number of sweep intervals covering [0, theta]")
-		timeout    = fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
-		keepGoing  = fs.Bool("keep-going", false, "skip failed experiments or sweep points and report them at the end")
-		parallel   = fs.Int("parallel", 0, "worker-pool size for batch evaluation (0 = all cores, 1 = sequential); results are identical at every setting")
-		metricsVal = fs.String("metrics", "", "dump run metrics to stderr after -all, -sweep or -modelcheck: \"text\", \"json\" or \"prom\"")
-		traceOut   = fs.String("trace", "", "write a JSON trace and run manifest to this file (spans, counters, cache stats; see docs/OBSERVABILITY.md)")
-		pprofSpec  = fs.String("pprof", "", "profiling: \"cpu[=file]\", \"mem[=file]\", or a host:port to serve net/http/pprof")
+		list        = fs.Bool("list", false, "list available experiments")
+		experiment  = fs.String("experiment", "", "run one experiment by id (see -list)")
+		all         = fs.Bool("all", false, "run every experiment")
+		outDir      = fs.String("out", "", "with -all: also write each report to <dir>/<id>.txt")
+		sweepMode   = fs.Bool("sweep", false, "sweep Y(phi) for a custom parameter set")
+		selfcheck   = fs.Bool("selfcheck", false, "run the invariant suite and simulator cross-check as a health gate")
+		modelcheck  = fs.Bool("modelcheck", false, "statically verify the translated models and exit")
+		optimize    = fs.Bool("optimize", false, "with -sweep: also refine the optimal phi continuously (golden-section)")
+		csvOut      = fs.Bool("csv", false, "emit CSV data instead of a text report (figure experiments and -sweep)")
+		points      = fs.Int("points", 10, "number of sweep intervals covering [0, theta]")
+		timeout     = fs.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+		keepGoing   = fs.Bool("keep-going", false, "skip failed experiments or sweep points and report them at the end")
+		parallel    = fs.Int("parallel", 0, "worker-pool size for batch evaluation (0 = all cores, 1 = sequential); results are identical at every setting")
+		metricsVal  = fs.String("metrics", "", "dump run metrics to stderr after -all, -sweep or -modelcheck: \"text\", \"json\" or \"prom\"")
+		parametricF = fs.String("parametric", "auto", "closed-form parametric fast path for -sweep: \"auto\" (numeric fallback outside the validated domain), \"on\" (fail if unavailable), \"off\" (numeric engine only)")
+		traceOut    = fs.String("trace", "", "write a JSON trace and run manifest to this file (spans, counters, cache stats; see docs/OBSERVABILITY.md)")
+		pprofSpec   = fs.String("pprof", "", "profiling: \"cpu[=file]\", \"mem[=file]\", or a host:port to serve net/http/pprof")
 
 		theta    = fs.Float64("theta", 10000, "time to next upgrade (hours)")
 		lambda   = fs.Float64("lambda", 1200, "message-sending rate (1/h)")
@@ -128,6 +129,10 @@ func run(args []string) (err error) {
 	case "", "text", "json", "prom":
 	default:
 		return fmt.Errorf("-metrics must be \"text\", \"json\" or \"prom\", got %q", *metricsVal)
+	}
+	parametric, err := parseParametricMode(*parametricF)
+	if err != nil {
+		return err
 	}
 	if *pprofSpec != "" {
 		stop, perr := pprofutil.StartPprof(*pprofSpec)
@@ -222,14 +227,15 @@ func run(args []string) (err error) {
 
 	case *sweepMode:
 		return sweep(ctx, params, sweepConfig{
-			points:    *points,
-			refine:    *optimize,
-			csvOut:    *csvOut,
-			keepGoing: *keepGoing,
-			workers:   *parallel,
-			metrics:   *metricsVal,
-			tracer:    tracer,
-			manifest:  man,
+			points:     *points,
+			refine:     *optimize,
+			csvOut:     *csvOut,
+			keepGoing:  *keepGoing,
+			workers:    *parallel,
+			metrics:    *metricsVal,
+			tracer:     tracer,
+			manifest:   man,
+			parametric: parametric,
 		})
 
 	default:
@@ -288,20 +294,36 @@ func writeTraceFile(path string, tr *obs.Tracer, man obs.Manifest) error {
 	return werr
 }
 
+// parseParametricMode maps the -parametric flag value to the analyzer
+// option.
+func parseParametricMode(v string) (core.ParametricMode, error) {
+	switch v {
+	case "auto":
+		return core.ParametricAuto, nil
+	case "on":
+		return core.ParametricOn, nil
+	case "off":
+		return core.ParametricOff, nil
+	default:
+		return 0, fmt.Errorf("-parametric must be \"auto\", \"on\" or \"off\", got %q", v)
+	}
+}
+
 // sweepConfig carries the sweep-mode flag values.
 type sweepConfig struct {
-	points    int
-	refine    bool
-	csvOut    bool
-	keepGoing bool
-	workers   int
-	metrics   string
-	tracer    *obs.Tracer
-	manifest  *obs.Manifest
+	points     int
+	refine     bool
+	csvOut     bool
+	keepGoing  bool
+	workers    int
+	metrics    string
+	tracer     *obs.Tracer
+	manifest   *obs.Manifest
+	parametric core.ParametricMode
 }
 
 func sweep(ctx context.Context, p mdcd.Params, cfg sweepConfig) error {
-	a, err := core.NewAnalyzer(p)
+	a, err := core.NewAnalyzerWithOptions(p, core.Options{Parametric: cfg.parametric})
 	if err != nil {
 		return err
 	}

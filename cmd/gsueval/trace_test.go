@@ -16,8 +16,10 @@ import (
 // 49 RMNd-pair series gaps) and whose span tree covers every solver layer.
 func TestSweepTraceManifest(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "trace.json")
+	// -parametric=off pins the numeric curve engine; the closed-form
+	// path's manifest is pinned by TestSweepTraceManifestParametric.
 	if _, err := capture(t, func() error {
-		return run([]string{"-sweep", "-points", "49", "-parallel", "2", "-trace", path})
+		return run([]string{"-sweep", "-points", "49", "-parallel", "2", "-parametric", "off", "-trace", path})
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -76,13 +78,75 @@ func TestSweepTraceManifest(t *testing.T) {
 	}
 }
 
+// The closed-form acceptance run: the default -parametric=auto sweep at
+// the paper parameters must be served entirely by the parametric layer —
+// one hit per grid point, zero fallbacks, zero CTMC solver passes — and
+// the run manifest must prove it through the counters.
+func TestSweepTraceManifestParametric(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if _, err := capture(t, func() error {
+		return run([]string{"-sweep", "-points", "49", "-trace", path})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc obs.TraceDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	m := doc.Manifest
+	if m.Counters[obs.CtrParametricHits] != 50 {
+		t.Errorf("counters[%s] = %d, want 50", obs.CtrParametricHits, m.Counters[obs.CtrParametricHits])
+	}
+	if m.Counters[obs.CtrParametricFallbacks] != 0 {
+		t.Errorf("counters[%s] = %d, want 0", obs.CtrParametricFallbacks, m.Counters[obs.CtrParametricFallbacks])
+	}
+	if m.SolverPasses != 0 {
+		t.Errorf("solver_passes = %d, want 0 (closed forms only)", m.SolverPasses)
+	}
+}
+
+// The fallback acceptance run: out-of-domain parameters under the default
+// -parametric=auto must be served numerically with the fallbacks counted
+// in the run manifest.
+func TestSweepTraceManifestParametricFallback(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if _, err := capture(t, func() error {
+		// MuNew far above the validated domain bound but mdcd-valid.
+		return run([]string{"-sweep", "-points", "9", "-munew", "0.5", "-trace", path})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc obs.TraceDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	m := doc.Manifest
+	if m.Counters[obs.CtrParametricFallbacks] != 10 {
+		t.Errorf("counters[%s] = %d, want 10", obs.CtrParametricFallbacks, m.Counters[obs.CtrParametricFallbacks])
+	}
+	if m.Counters[obs.CtrParametricHits] != 0 {
+		t.Errorf("counters[%s] = %d, want 0", obs.CtrParametricHits, m.Counters[obs.CtrParametricHits])
+	}
+	if m.SolverPasses == 0 {
+		t.Error("solver_passes = 0, want numeric passes on the fallback path")
+	}
+}
+
 // The -metrics json document is a consumer contract: it must carry the
 // schema version stamp and only keys the schema pins. A new key means a
 // schema bump, not a silent extension.
 func TestMetricsJSONSchemaGolden(t *testing.T) {
 	stderr, err := captureStderr(t, func() error {
 		_, runErr := capture(t, func() error {
-			return run([]string{"-sweep", "-points", "4", "-theta", "2000", "-metrics", "json"})
+			return run([]string{"-sweep", "-points", "4", "-theta", "2000", "-parametric", "off", "-metrics", "json"})
 		})
 		return runErr
 	})
@@ -119,7 +183,7 @@ func TestMetricsJSONSchemaGolden(t *testing.T) {
 func TestMetricsPromSweep(t *testing.T) {
 	stderr, err := captureStderr(t, func() error {
 		_, runErr := capture(t, func() error {
-			return run([]string{"-sweep", "-points", "4", "-theta", "2000", "-metrics", "prom"})
+			return run([]string{"-sweep", "-points", "4", "-theta", "2000", "-parametric", "off", "-metrics", "prom"})
 		})
 		return runErr
 	})

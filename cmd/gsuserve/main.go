@@ -67,6 +67,7 @@ func run(ctx context.Context, args []string) int {
 		cacheTTL     = fs.Duration("cache-ttl", 5*time.Minute, "response cache entry lifetime")
 		cacheShards  = fs.Int("cache-shards", 8, "cache lock shards")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight work")
+		parametric   = fs.String("parametric", "auto", "closed-form parametric fast path: \"auto\" (numeric fallback outside the validated domain), \"on\" (fail analyzer builds outside it), \"off\" (numeric engine only)")
 		pprofSpec    = fs.String("pprof", "", "profiling: cpu[=file], mem[=file], or host:port for net/http/pprof")
 
 		loadgen  = fs.Bool("loadgen", false, "replay a generated load script against -target instead of serving")
@@ -77,6 +78,12 @@ func run(ctx context.Context, args []string) int {
 		conc     = fs.Int("concurrency", 8, "parallel load clients (loadgen mode)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	switch *parametric {
+	case "auto", "on", "off":
+	default:
+		log.Printf("gsuserve: -parametric must be \"auto\", \"on\" or \"off\", got %q", *parametric)
 		return 1
 	}
 
@@ -108,6 +115,7 @@ func run(ctx context.Context, args []string) int {
 		},
 		ResponseCache: serve.CacheConfig{Shards: *cacheShards, Capacity: *cacheCap, TTL: *cacheTTL},
 		AnalyzerCache: serve.CacheConfig{Shards: *cacheShards},
+		Parametric:    *parametric,
 		Tracer:        tracer,
 	})
 	bound, err := s.Start(*addr)

@@ -10,6 +10,7 @@ import (
 	"guardedop/internal/mdcd"
 	"guardedop/internal/modelcheck"
 	"guardedop/internal/obs"
+	"guardedop/internal/parametric"
 	"guardedop/internal/robust"
 	"guardedop/internal/statespace"
 )
@@ -37,6 +38,15 @@ type Analyzer struct {
 	ndNewSolves *ctmc.SolveCache // RMNd(µ_new) π(θ−φ)
 	ndOldSolves *ctmc.SolveCache // RMNd(µ_old) π(θ−φ)
 
+	// par is the closed-form parametric system, nil when the mode is off
+	// or an Auto-mode build declined (out-of-domain parameters, failed
+	// probe validation). Queries that reach a non-nil par and still fail
+	// fall back to the numeric engine per point. parMode records what the
+	// caller asked for, so fallbacks are counted whenever a parametric
+	// mode was requested but the numeric engine served the query.
+	par     *parametric.System
+	parMode ParametricMode
+
 	pNoFailNewTheta float64 // P(X″_θ ∈ A″₁), cached: it is φ-independent
 }
 
@@ -46,12 +56,36 @@ type Analyzer struct {
 // keeping the worst case at a few hundred state-space-sized vectors.
 const solveCacheCapacity = 256
 
+// ParametricMode selects how the analyzer uses the closed-form parametric
+// layer (internal/parametric) for point evaluation.
+type ParametricMode int
+
+const (
+	// ParametricOff disables the closed-form layer entirely: every point
+	// is solved numerically. The zero value, so existing callers keep
+	// bit-identical numeric behavior.
+	ParametricOff ParametricMode = iota
+	// ParametricAuto builds the closed-form system when the parameters
+	// lie inside its validated domain and it passes probe
+	// cross-validation, silently falling back to the numeric engine
+	// otherwise (and per point on any closed-form evaluation error).
+	ParametricAuto
+	// ParametricOn requires the closed-form system: analyzer
+	// construction fails if it cannot be built and validated. Per-point
+	// numeric fallback still applies to queries the layer declines.
+	ParametricOn
+)
+
 // Options relaxes model assumptions for ablation studies; the zero value
 // reproduces the paper.
 type Options struct {
 	// RecoverySuccess is the probability that recovery succeeds after a
 	// detection (paper: 1). Zero means 1.
 	RecoverySuccess float64
+
+	// Parametric selects the closed-form fast path. The zero value is
+	// ParametricOff.
+	Parametric ParametricMode
 }
 
 // NewAnalyzer builds the composite base model for the given parameters
@@ -118,6 +152,23 @@ func NewAnalyzerWithOptions(p mdcd.Params, o Options) (*Analyzer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: solving P(X''_theta in A''_1): %w", err)
 	}
+	var par *parametric.System
+	switch o.Parametric {
+	case ParametricOff:
+	case ParametricAuto, ParametricOn:
+		par, err = parametric.NewSystem(p, gd, ndNew, ndOld)
+		if err != nil {
+			if o.Parametric == ParametricOn {
+				return nil, fmt.Errorf("core: parametric system required but unavailable: %w", err)
+			}
+			// Auto: the numeric engine covers the whole parameter space;
+			// the build error only means this parameter set gets no fast
+			// path.
+			par = nil
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown parametric mode %d", o.Parametric)
+	}
 	return &Analyzer{
 		params:          p,
 		gd:              gd,
@@ -128,9 +179,15 @@ func NewAnalyzerWithOptions(p mdcd.Params, o Options) (*Analyzer, error) {
 		gdSolves:        gdSolves,
 		ndNewSolves:     ndNewSolves,
 		ndOldSolves:     ndOldSolves,
+		par:             par,
+		parMode:         o.Parametric,
 		pNoFailNewTheta: pTheta,
 	}, nil
 }
+
+// Parametric reports whether the closed-form parametric layer is active
+// for this analyzer (built, probe-validated, and serving point queries).
+func (a *Analyzer) Parametric() bool { return a.par != nil }
 
 // verifySpace statically checks a freshly generated state space before any
 // solver touches it (docs/STATIC_ANALYSIS.md): generator validity,
@@ -214,6 +271,25 @@ func (a *Analyzer) evaluateCtx(ctx context.Context, phi float64, policy GammaPol
 	if math.IsNaN(phi) || phi < 0 || phi > p.Theta {
 		return Result{}, fmt.Errorf("core: phi = %g out of [0, theta=%g]", phi, p.Theta)
 	}
+	if a.parMode != ParametricOff {
+		if a.par != nil {
+			gdm, pNew, pOld, perr := a.parametricPoint(phi)
+			if perr == nil {
+				if res, aerr := a.assemble(phi, policy, gdm, pNew, pOld); aerr == nil {
+					obs.Count(ctx, obs.CtrParametricHits, 1)
+					sp.Event("parametric_hit")
+					return res, nil
+				}
+			}
+		}
+		// A parametric mode was requested but the numeric engine serves
+		// this point: the system was never built (out-of-domain
+		// parameters under auto), the query was declined, or — in case
+		// the closed form itself produced the degenerate value — the
+		// assembly failed and is re-checked numerically.
+		obs.Count(ctx, obs.CtrParametricFallbacks, 1)
+		obs.AddEvent(ctx, "parametric_fallback")
+	}
 	pi, acc, err := a.gdSolves.TransientAccumulatedContext(ctx, phi)
 	if err != nil {
 		return Result{}, fmt.Errorf("core: RMGd measures at phi=%g: %w", phi, err)
@@ -240,6 +316,22 @@ func (a *Analyzer) evaluateCtx(ctx context.Context, phi float64, policy GammaPol
 		return Result{}, fmt.Errorf("core: recovered-pair survival: %w", err)
 	}
 	return a.assemble(phi, policy, gdm, pNoFailNewRem, pNoFailOldRem)
+}
+
+// parametricPoint evaluates one φ's constituent measures through the
+// closed-form layer. Any error means the layer declined this query and
+// the caller must take the numeric path; it never panics and never
+// returns non-finite values (the evaluators guard their exports).
+func (a *Analyzer) parametricPoint(phi float64) (gdm mdcd.GdMeasures, pNewRem, pOldRem float64, err error) {
+	if gdm, err = a.par.GdMeasures(phi); err != nil {
+		return
+	}
+	rem := a.params.Theta - phi
+	if pNewRem, err = a.par.NoFailureNew(rem); err != nil {
+		return
+	}
+	pOldRem, err = a.par.NoFailureOld(rem)
+	return
 }
 
 // evaluatePointwise is the uncached per-point reference path: one full
@@ -437,7 +529,25 @@ func (a *Analyzer) curveBatchPolicy(ctx context.Context, phis []float64, policy 
 	ctx, sp := obs.StartSpan(ctx, "core.curve")
 	defer sp.End()
 	sp.SetInt("points", int64(len(phis)))
-	pts := a.solveCurvePoints(ctx, phis, workers)
+	var pts []solvedPoint
+	if a.par != nil {
+		// The closed-form layer replaces the engine's batched solve stage
+		// outright: zero solver passes, per-point polynomial evaluation.
+		// A declined point carries its error into assembly, which retries
+		// it through the numeric point-wise fallback — the same recovery
+		// route as a failed numeric segment.
+		sp.Event("parametric_stage")
+		pts = a.parametricCurvePoints(ctx, phis)
+	} else {
+		if a.parMode != ParametricOff {
+			// A parametric mode was requested but the system was never
+			// built (out-of-domain parameters under auto): the whole
+			// sweep is served numerically, one fallback per point.
+			obs.Count(ctx, obs.CtrParametricFallbacks, int64(len(phis)))
+			obs.AddEvent(ctx, "parametric_fallback")
+		}
+		pts = a.solveCurvePoints(ctx, phis, workers)
+	}
 	// Assembly folds already-solved measures into Results: microseconds of
 	// arithmetic per point, no solver passes. Running it on a context
 	// detached from the sweep's cancellation is what preserves the

@@ -115,3 +115,35 @@ func (a *Analyzer) solveCurvePoints(ctx context.Context, phis []float64, workers
 	}
 	return pts
 }
+
+// parametricCurvePoints serves the solve stage from the closed-form
+// parametric layer: every valid point costs polynomial evaluation only, no
+// CTMC solver passes. Served points count as parametric hits here; a point
+// the layer declines keeps its error and is re-evaluated by the assembly
+// stage's numeric fallback, whose own parametric retry records the
+// fallback count (so each declined point counts exactly once). A canceled
+// context marks the remaining points ErrCanceled, preserving the sweep's
+// completed-prefix contract.
+func (a *Analyzer) parametricCurvePoints(ctx context.Context, phis []float64) []solvedPoint {
+	pts := make([]solvedPoint, len(phis))
+	theta := a.params.Theta
+	for i, phi := range phis {
+		pts[i].phi = phi
+		if cerr := ctx.Err(); cerr != nil {
+			pts[i].err = fmt.Errorf("%w: %v", robust.ErrCanceled, cerr)
+			continue
+		}
+		if math.IsNaN(phi) || phi < 0 || phi > theta {
+			pts[i].err = fmt.Errorf("core: phi = %g out of [0, theta=%g]", phi, theta)
+			continue
+		}
+		gdm, pNew, pOld, err := a.parametricPoint(phi)
+		if err != nil {
+			pts[i].err = err
+			continue
+		}
+		obs.Count(ctx, obs.CtrParametricHits, 1)
+		pts[i].gdm, pts[i].pNewRem, pts[i].pOldRem = gdm, pNew, pOld
+	}
+	return pts
+}

@@ -3,6 +3,8 @@ package ctmc
 import (
 	"fmt"
 	"math"
+
+	"guardedop/internal/robust"
 )
 
 // poissonWindow holds a truncated Poisson probability mass function computed
@@ -16,6 +18,13 @@ type poissonWindow struct {
 	Weights     []float64 // Weights[i] = pmf(Left + i), renormalized
 }
 
+// maxPoissonTerms caps the number of pmf terms a window may hold. A
+// window this wide (~33M terms, hundreds of MB of weights, and as many
+// matrix-vector products downstream) is far past anything the solvers
+// can usefully iterate; refusing up front turns an hours-long death
+// march into an immediate, diagnosable error.
+const maxPoissonTerms = 32 << 20
+
 // newPoissonWindow computes the truncated Poisson(mean) pmf with total
 // truncated tail mass at most eps (split across the two tails).
 func newPoissonWindow(mean, eps float64) (*poissonWindow, error) {
@@ -27,6 +36,19 @@ func newPoissonWindow(mean, eps float64) (*poissonWindow, error) {
 	}
 	if mean == 0 {
 		return &poissonWindow{Mean: 0, Left: 0, Right: 0, Weights: []float64{1}}, nil
+	}
+
+	// spread bounds each tail walk. The Poisson(mean) tail beyond
+	// mean + c·(√mean+1) is below eps for c ~ √(2·ln(1/eps)), so the
+	// coefficient here — an order of magnitude beyond that — is only
+	// reachable if the walk has stopped converging. Checking the width
+	// before walking fails fast: a mean of 1e18 used to grind through
+	// ~1e9 recurrence steps and an unbounded weights slice before the
+	// old mean+1e9 guard tripped.
+	spread := (math.Sqrt(mean) + 1) * (25 + 10*math.Log(1/eps))
+	if 2*spread+1 > maxPoissonTerms {
+		return nil, fmt.Errorf("ctmc: Poisson window for mean %g needs ~%.3g terms (cap %d): %w",
+			mean, 2*spread+1, maxPoissonTerms, robust.ErrNotConverged)
 	}
 
 	mode := int(math.Floor(mean))
@@ -71,8 +93,9 @@ func newPoissonWindow(mean, eps float64) (*poissonWindow, error) {
 		pr = next
 		right++
 		rightVals = append(rightVals, pr)
-		if right > mode && float64(right) > mean+1e9 {
-			return nil, fmt.Errorf("ctmc: Poisson right truncation did not converge for mean %g", mean)
+		if float64(right) > mean+spread {
+			return nil, fmt.Errorf("ctmc: Poisson right truncation did not converge within mean+%.3g for mean %g: %w",
+				spread, mean, robust.ErrNotConverged)
 		}
 	}
 

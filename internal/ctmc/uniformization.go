@@ -28,17 +28,37 @@ type UniformizationOptions struct {
 	MaxIterations int
 }
 
-func (o UniformizationOptions) withDefaults() UniformizationOptions {
+// withDefaults resolves zero values and rejects degenerate settings.
+// Every field is validated, not just defaulted: a negative RatePadding
+// used to produce q < 0 and silently build a garbage uniformized DTMC,
+// and a negative SteadyStateTol silently disabled steady-state detection
+// (no iterate distance is < 0). Both now fail loudly as invariant
+// violations instead of corrupting or degrading the solve.
+func (o UniformizationOptions) withDefaults() (UniformizationOptions, error) {
 	if o.Epsilon == 0 {
 		o.Epsilon = 1e-12
+	}
+	if math.IsNaN(o.Epsilon) || o.Epsilon < 0 || o.Epsilon >= 1 {
+		return o, fmt.Errorf("ctmc: uniformization Epsilon %g outside (0, 1): %w", o.Epsilon, robust.ErrInvariant)
 	}
 	if o.RatePadding == 0 {
 		o.RatePadding = 1.02
 	}
+	// Padding below 1 is as broken as a negative value: q then undercuts
+	// max|Q_ii| and the uniformized DTMC picks up negative diagonals.
+	if math.IsNaN(o.RatePadding) || o.RatePadding < 1 {
+		return o, fmt.Errorf("ctmc: uniformization RatePadding %g must be >= 1: %w", o.RatePadding, robust.ErrInvariant)
+	}
 	if o.SteadyStateTol == 0 {
 		o.SteadyStateTol = 1e-14
 	}
-	return o
+	if math.IsNaN(o.SteadyStateTol) || o.SteadyStateTol < 0 {
+		return o, fmt.Errorf("ctmc: uniformization SteadyStateTol %g must be >= 0: %w", o.SteadyStateTol, robust.ErrInvariant)
+	}
+	if o.MaxIterations < 0 {
+		return o, fmt.Errorf("ctmc: uniformization MaxIterations %d must be >= 0: %w", o.MaxIterations, robust.ErrInvariant)
+	}
+	return o, nil
 }
 
 // TransientUniformization computes the state-probability vector π(t) from
@@ -81,7 +101,10 @@ func (c *Chain) uniformize(ctx context.Context, pi0 []float64, t float64, opts U
 	sp.SetFloat("t", t)
 	iterations := 0
 	defer func() { sp.SetInt("iterations", int64(iterations)) }()
-	opts = opts.withDefaults()
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, nil, err
+	}
 
 	pi := append([]float64(nil), pi0...)
 	acc := make([]float64, c.n)
@@ -133,8 +156,13 @@ func (c *Chain) uniformize(ctx context.Context, pi0 []float64, t float64, opts U
 		if k >= win.Right {
 			break
 		}
-		if k >= maxIter {
-			return nil, nil, fmt.Errorf("ctmc: uniformization exceeded %d iterations (qt=%g): %w",
+		// The cap is on matrix-vector products (the doc contract), so it is
+		// checked against the product count immediately before the product.
+		// Checking k after the window break made the guard dead under
+		// defaults: maxIter = win.Right + 2 could never be reached once the
+		// loop broke at k >= win.Right.
+		if iterations >= maxIter {
+			return nil, nil, fmt.Errorf("ctmc: uniformization exceeded %d matrix-vector products (qt=%g): %w",
 				maxIter, q*t, robust.ErrNotConverged)
 		}
 		p.VecMul(next, v)

@@ -60,6 +60,11 @@ func CountThings(ctx context.Context, tr *obs.Tracer) {
 	obs.Count(ctx, "serve.requets", 1) // want exhaustive
 	tr.Count(obs.CtrCacheHits, 1)
 	tr.Count("cache.hit", 1) // want exhaustive
+	// The parametric fast-path counters are vocabulary like any other —
+	// the constants pass, near-miss free-form spellings do not.
+	obs.Count(ctx, obs.CtrParametricHits, 1)
+	tr.Count(obs.CtrParametricFallbacks, 1)
+	obs.Count(ctx, "parametric.hit", 1) // want exhaustive
 }
 
 // CountDynamic builds the name at runtime, which is out of scope.

@@ -41,6 +41,15 @@ type GdMeasures struct {
 	phi float64
 }
 
+// WithPhi returns a copy of m with the duration used by
+// MeanDetectionTime set to phi. It exists for assemblers outside the
+// package (the parametric layer) that fill the measure fields without
+// going through this package's solvers.
+func (m GdMeasures) WithPhi(phi float64) GdMeasures {
+	m.phi = phi
+	return m
+}
+
 // PDetected returns P(an error has been detected by φ), whether or not the
 // recovered system subsequently failed.
 func (m GdMeasures) PDetected() float64 { return m.IntH + m.IntHF }

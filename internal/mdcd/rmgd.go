@@ -32,6 +32,17 @@ type RMGd struct {
 	vDetected []float64
 }
 
+// RateVectors returns the prebuilt Table 1 reward-rate vectors, indexed
+// by state: the instant-of-time rates intH, pA1 and undetected, the
+// interval-of-time rates intTauH and detected, and the failure indicator
+// intHF. They exist for assemblers outside the package (the parametric
+// layer) that project their own solution representation onto the same
+// reward structures. The returned slices are the model's backing arrays;
+// callers must not modify them.
+func (r *RMGd) RateVectors() (intH, intTauH, intHF, pA1, undetected, detected []float64) {
+	return r.vIntH, r.vIntTauH, r.vIntHF, r.vPA1, r.vUndet, r.vDetected
+}
+
 // GdOptions relaxes RMGd assumptions for ablation studies.
 type GdOptions struct {
 	// RecoverySuccess is the probability that error recovery succeeds

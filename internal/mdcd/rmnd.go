@@ -126,6 +126,12 @@ func (r *RMNd) NoFailureFromSolution(pi []float64) (float64, error) {
 	return dotReward("P(no failure)", r.noFailRates, pi)
 }
 
+// NoFailureRates returns the MARK(failure)==0 indicator vector prebuilt
+// at construction, for assemblers outside the package (the parametric
+// layer). The returned slice is the model's backing array; callers must
+// not modify it.
+func (r *RMNd) NoFailureRates() []float64 { return r.noFailRates }
+
 // NoFailureProbabilitySeries returns P(no failure by t) for every horizon
 // in ts (unsorted input is aligned with the output), sharing one
 // incremental propagation across the grid: one solver pass per gap instead

@@ -20,6 +20,15 @@ const (
 	// CtrFallbackPoints counts curve-engine grid points that fell back to
 	// point-wise evaluation after their segment solve failed.
 	CtrFallbackPoints = "core.fallback_points"
+	// CtrParametricHits / CtrParametricFallbacks count point evaluations
+	// served by the closed-form parametric layer versus routed to the
+	// numeric engine while a parametric mode was requested (out-of-domain
+	// parameters, a declined query, an unstable expansion, a non-finite
+	// intermediate). Points evaluated with the layer off count under
+	// neither, so hits + fallbacks accounts for every point of a
+	// parametric-mode run.
+	CtrParametricHits      = "parametric.hits"
+	CtrParametricFallbacks = "parametric.fallbacks"
 	// CtrRetries counts batch-item retry attempts.
 	CtrRetries = "robust.retries"
 

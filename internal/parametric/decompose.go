@@ -1,0 +1,508 @@
+// Package parametric solves the paper's small fixed-structure CTMCs in
+// closed form at analyzer-build time, turning every per-φ query into
+// microseconds of scalar arithmetic instead of a solver pass.
+//
+// The route is spectral decomposition with exact eigenstructure. The
+// φ-dependent constituent models (RMGd and the two RMNd instantiations)
+// have block-triangular generators once states are ordered by a
+// topological sort of the strongly connected components: contamination
+// and detection are monotone, so the only cycles are the dirty-bit flips
+// — SCCs of size at most two. Singleton blocks carry their eigenvalue on
+// the diagonal; 2×2 blocks have real, simple eigenvalues in closed form
+// (the discriminant (a−d)²+4bc is strictly positive because both
+// couplings are positive rates). Eigenvectors of the resulting upper
+// triangular matrix follow by back-substitution, and every measure
+// becomes an exponential sum  m(t) = Σᵢ bᵢ·e^{λᵢt}.
+//
+// The decomposition runs in 256-bit big.Float arithmetic. This is not
+// decoration: the models mix time scales across twelve orders of
+// magnitude (message rates ~1e3/h against fault rates down to 1e-8/h),
+// so eigenvalue gaps at the µ_old scale make float64 spectral residues
+// explode into cancelling ±1e10 pairs. At 256 bits the cancellation is
+// absorbed and the only rounding happens when the final evaluator
+// coefficients are exported to float64. Quasi-degenerate eigenvalues are
+// additionally grouped into clusters evaluated as
+// e^{λ_c t}·(S₀+S₁t+…+S_K t^K), whose Taylor coefficients S_k =
+// Σᵢ bᵢ·δλᵢᵏ/k! are computed exactly in big arithmetic and are O(1)
+// where the raw residues bᵢ are not.
+package parametric
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+	"sort"
+
+	"guardedop/internal/sparse"
+)
+
+// prec is the working precision (bits) of the build-time decomposition.
+const prec = 256
+
+// maxStates bounds the dense decomposition. The constituent models have
+// ~5-25 reachable states; anything larger is not the workload this
+// package is for and would make the O(n³) big-float algebra noticeable.
+const maxStates = 64
+
+// clusterGapBudget is the dimensionless gap λ·tMax below which two
+// eigenvalues are folded into one cluster. 0.05 keeps the within-cluster
+// Taylor argument δλ·t small enough for a short series while separating
+// clusters widely enough that cross-cluster residues stay bounded.
+const clusterGapBudget = 0.05
+
+// maxTaylorOrder caps the within-cluster Taylor order K.
+const maxTaylorOrder = 60
+
+// Typed failures of the closed-form construction. Callers treat any of
+// them as "fall back to the numeric engine"; they are distinct so tests
+// and traces can tell a structural rejection from a numerical one.
+var (
+	// ErrStructure marks a generator the spectral route does not cover:
+	// SCCs larger than the dirty-bit pairs, a positive eigenvalue, or a
+	// state space beyond the dense-decomposition bound.
+	ErrStructure = errors.New("parametric: generator structure unsupported")
+	// ErrDefective marks an eigenstructure the construction cannot
+	// reduce: a 2×2 block whose similarity left a material sub-diagonal
+	// residual, or coincident block eigenvalues with a singular
+	// eigenvector matrix.
+	ErrDefective = errors.New("parametric: defective eigenstructure")
+	// ErrUnstable marks an expansion whose float64 evaluation cannot be
+	// trusted: coefficients too large for the query-time arithmetic or a
+	// Taylor series that does not converge within the order cap.
+	ErrUnstable = errors.New("parametric: expansion coefficients unstable")
+	// ErrOutOfDomain marks a parameter set outside the validated domain
+	// of the closed-form layer (see docs/PARAMETRIC.md).
+	ErrOutOfDomain = errors.New("parametric: parameters outside the validated domain")
+	// ErrValidation marks a built system that failed its probe
+	// cross-validation against the numeric engine.
+	ErrValidation = errors.New("parametric: probe validation against the numeric engine failed")
+)
+
+// Decomposition is the exact (generalized) eigenstructure of one
+// generator together with the initial distribution folded in: for any
+// reward vector r the measure m(t) = π₀·e^{Qt}·r expands as
+//
+//	m(t) = Σⱼ e^{λⱼt} · (Σₐ (u·Nᵃ)ⱼ·tᵃ/a!) · (wⱼ·r)
+//
+// where N is the nilpotent part coupling exactly-repeated eigenvalues
+// (the models do have true Jordan blocks: a detection transition can
+// land in a recovered state with an identical exit rate, e.g.
+// −(λ+µ_old) on both sides). N commutes with the diagonal by
+// construction — it only couples equal eigenvalues — so e^{Jt}
+// factors exactly into e^{Dt}·(Σₐ Nᵃtᵃ/a!), a finite polynomial. The
+// decomposition is built once per chain and turned into per-reward
+// evaluators by Expansion.
+type Decomposition struct {
+	n      int
+	perm   []int // permuted index -> original state index
+	lambda []*big.Float
+	// uPoly[a] = π₀·M·V·Nᵃ: the left weights and their images under the
+	// nilpotent powers (uPoly has maxA+1 entries, uPoly[maxA+1] would be
+	// all zero). For a diagonalizable generator it holds only uPoly[0].
+	uPoly [][]*big.Float
+	w     [][]*big.Float // right weights: rows of V⁻¹·M⁻¹
+	tMax  float64
+
+	clusters []clusterSpec
+}
+
+// clusterSpec is one quasi-degenerate eigenvalue group.
+type clusterSpec struct {
+	base    float64 // reference eigenvalue λ_c (the largest in the group)
+	width   float64 // max |λᵢ − λ_c| over members
+	members []int
+}
+
+func bf(x float64) *big.Float { return big.NewFloat(x).SetPrec(prec) }
+func newBF() *big.Float       { return new(big.Float).SetPrec(prec) }
+
+func newMat(n int) [][]*big.Float {
+	m := make([][]*big.Float, n)
+	for i := range m {
+		m[i] = make([]*big.Float, n)
+		for j := range m[i] {
+			m[i][j] = newBF()
+		}
+	}
+	return m
+}
+
+func matMul(a, b [][]*big.Float) [][]*big.Float {
+	n := len(a)
+	out := newMat(n)
+	t := newBF()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := out[i][j]
+			for k := 0; k < n; k++ {
+				if a[i][k].Sign() == 0 || b[k][j].Sign() == 0 {
+					continue
+				}
+				s.Add(s, t.Mul(a[i][k], b[k][j]))
+			}
+		}
+	}
+	return out
+}
+
+// Decompose builds the exact eigenstructure of the generator with
+// initial distribution pi0, valid for horizons in [0, tMax]. The
+// generator is read densely from the chain's CSR; row i, column j holds
+// the rate i→j with the negative exit rate on the diagonal.
+func Decompose(gen *sparse.CSR, pi0 []float64, tMax float64) (*Decomposition, error) {
+	n := gen.Rows()
+	if n == 0 || gen.Cols() != n {
+		return nil, fmt.Errorf("%w: generator is %dx%d", ErrStructure, gen.Rows(), gen.Cols())
+	}
+	if n > maxStates {
+		return nil, fmt.Errorf("%w: %d states exceeds the dense bound %d", ErrStructure, n, maxStates)
+	}
+	if len(pi0) != n {
+		return nil, fmt.Errorf("%w: initial vector has %d entries for %d states", ErrStructure, len(pi0), n)
+	}
+	if !(tMax > 0) || math.IsInf(tMax, 0) {
+		return nil, fmt.Errorf("%w: horizon bound %g", ErrStructure, tMax)
+	}
+
+	// Dense copy + adjacency over structural non-zeros.
+	a := make([][]float64, n)
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		a[i] = make([]float64, n)
+		gen.Row(i, func(c int, v float64) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return
+			}
+			a[i][c] = v
+			if c != i && v != 0 {
+				adj[i] = append(adj[i], c)
+			}
+		})
+	}
+
+	// SCC condensation → topological permutation (sources first), so the
+	// permuted generator is upper block triangular.
+	comps := tarjan(n, adj)
+	perm := make([]int, 0, n)
+	for ci := len(comps) - 1; ci >= 0; ci-- {
+		c := comps[ci]
+		if len(c) > 2 {
+			return nil, fmt.Errorf("%w: strongly connected component of size %d", ErrStructure, len(c))
+		}
+		perm = append(perm, c...)
+	}
+
+	// Permuted generator in big arithmetic.
+	t0 := newMat(n)
+	scale := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := a[perm[i]][perm[j]]
+			t0[i][j].SetFloat64(v)
+			if av := math.Abs(v); av > scale {
+				scale = av
+			}
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+
+	// Locate the 2×2 diagonal blocks and diagonalize each exactly. M is
+	// the block-diagonal accumulated similarity; λ pairs come from the
+	// closed-form quadratic.
+	m := newMat(n)
+	minv := newMat(n)
+	for i := 0; i < n; i++ {
+		m[i][i].SetFloat64(1)
+		minv[i][i].SetFloat64(1)
+	}
+	lambda := make([]*big.Float, n)
+	isBlock := make([]bool, n)
+	pos := 0
+	for ci := len(comps) - 1; ci >= 0; ci-- {
+		c := comps[ci]
+		if len(c) == 1 {
+			lambda[pos] = newBF().Set(t0[pos][pos])
+			pos++
+			continue
+		}
+		i := pos
+		aa, bb := t0[i][i], t0[i][i+1]
+		cc, dd := t0[i+1][i], t0[i+1][i+1]
+		if bb.Sign() <= 0 || cc.Sign() <= 0 {
+			return nil, fmt.Errorf("%w: 2-SCC without positive mutual rates", ErrStructure)
+		}
+		// λ± = ((a+d) ± √((a−d)² + 4bc)) / 2; the discriminant is
+		// strictly positive, so the pair is real and simple.
+		diff := newBF().Sub(aa, dd)
+		disc := newBF().Mul(diff, diff)
+		four := newBF().Mul(bb, cc)
+		four.Mul(four, bf(4))
+		disc.Add(disc, four)
+		root := newBF().Sqrt(disc)
+		sum := newBF().Add(aa, dd)
+		l1 := newBF().Add(sum, root)
+		l1.Quo(l1, bf(2))
+		l2 := newBF().Sub(sum, root)
+		l2.Quo(l2, bf(2))
+		// Eigenvector columns (b, λ−a); x = λ−a solves x² + (a−d)x = bc.
+		x1 := newBF().Sub(l1, aa)
+		x2 := newBF().Sub(l2, aa)
+		m[i][i].Set(bb)
+		m[i][i+1].Set(bb)
+		m[i+1][i].Set(x1)
+		m[i+1][i+1].Set(x2)
+		det := newBF().Sub(x2, x1)
+		det.Mul(det, bb)
+		if det.Sign() == 0 {
+			return nil, fmt.Errorf("%w: coincident 2-SCC eigenvalues", ErrDefective)
+		}
+		minv[i][i].Quo(x2, det)
+		minv[i][i+1].Quo(newBF().Neg(bb), det)
+		minv[i+1][i].Quo(newBF().Neg(x1), det)
+		minv[i+1][i+1].Quo(bb, det)
+		lambda[i], lambda[i+1] = l1, l2
+		isBlock[i] = true
+		pos += 2
+	}
+
+	// T = M⁻¹·T0·M is upper triangular: the block similarity leaves the
+	// block-triangular zero pattern intact and reduces each 2×2 diagonal
+	// block to diag(λ1, λ2) up to the precision floor.
+	tm := matMul(minv, matMul(t0, m))
+	floor := math.Ldexp(scale, -100)
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			if f, _ := new(big.Float).Abs(tm[i][j]).Float64(); f > floor {
+				return nil, fmt.Errorf("%w: sub-diagonal residual %g after block reduction", ErrDefective, f)
+			}
+			tm[i][j].SetFloat64(0)
+		}
+		// Pin the diagonal to the closed-form eigenvalues.
+		tm[i][i].Set(lambda[i])
+	}
+
+	// A valid generator has spectrum in the closed left half plane; tiny
+	// positive round-off from the 2×2 square roots is clamped to zero,
+	// anything material is a structural rejection.
+	for i := 0; i < n; i++ {
+		if lambda[i].Sign() > 0 {
+			f, _ := lambda[i].Float64()
+			if f*tMax > 1e-9 {
+				return nil, fmt.Errorf("%w: positive eigenvalue %g", ErrStructure, f)
+			}
+			lambda[i].SetFloat64(0)
+			tm[i][i].SetFloat64(0)
+		}
+	}
+
+	// Generalized eigenvectors of the triangular T: solve T·V = V·J with
+	// V unit upper triangular and J = diag(λ) + N, N strictly upper and
+	// coupling only exactly-repeated eigenvalues. Column i by
+	// back-substitution: v[j] = rhs/(λᵢ−T[j][j]) where rhs folds in the
+	// couplings already placed in this column. When the gap vanishes the
+	// residual rhs cannot be divided out; it becomes the Jordan coupling
+	// N[j][i] instead (with v[j]=0), which is exactly the choice that
+	// keeps D and N commuting.
+	gapFloor := math.Ldexp(scale, -80)
+	v := newMat(n)
+	nilp := newMat(n)
+	hasNilp := false
+	tnum := newBF()
+	for i := 0; i < n; i++ {
+		v[i][i].SetFloat64(1)
+		var coupled []int // rows j' with N[j'][i] != 0, descending
+		for j := i - 1; j >= 0; j-- {
+			rhs := newBF()
+			for k := j + 1; k <= i; k++ {
+				if tm[j][k].Sign() == 0 || v[k][i].Sign() == 0 {
+					continue
+				}
+				rhs.Add(rhs, tnum.Mul(tm[j][k], v[k][i]))
+			}
+			for _, jp := range coupled {
+				if nilp[jp][i].Sign() == 0 || v[j][jp].Sign() == 0 {
+					continue
+				}
+				rhs.Sub(rhs, tnum.Mul(nilp[jp][i], v[j][jp]))
+			}
+			den := newBF().Sub(lambda[i], tm[j][j])
+			denAbs, _ := new(big.Float).Abs(den).Float64()
+			if denAbs <= gapFloor {
+				if rhs.Sign() != 0 {
+					nilp[j][i].Set(rhs)
+					coupled = append(coupled, j)
+					hasNilp = true
+				}
+				continue // v[j] stays zero
+			}
+			v[j][i].Quo(rhs, den)
+		}
+	}
+
+	// V⁻¹ by the same unit-triangular back-substitution, then the left
+	// and right spectral weights.
+	vinv := newMat(n)
+	for i := 0; i < n; i++ {
+		vinv[i][i].SetFloat64(1)
+		for j := i - 1; j >= 0; j-- {
+			s := vinv[j][i]
+			for k := j + 1; k <= i; k++ {
+				if v[j][k].Sign() == 0 || vinv[k][i].Sign() == 0 {
+					continue
+				}
+				s.Sub(s, tnum.Mul(v[j][k], vinv[k][i]))
+			}
+		}
+	}
+	w := matMul(vinv, minv)
+
+	u := make([]*big.Float, n)
+	tmp := make([]*big.Float, n)
+	for j := 0; j < n; j++ {
+		tmp[j] = newBF()
+		for i := 0; i < n; i++ {
+			if pi0[perm[i]] == 0 || m[i][j].Sign() == 0 {
+				continue
+			}
+			tmp[j].Add(tmp[j], tnum.Mul(bf(pi0[perm[i]]), m[i][j]))
+		}
+	}
+	for j := 0; j < n; j++ {
+		u[j] = newBF()
+		for i := 0; i < n; i++ {
+			if tmp[i].Sign() == 0 || v[i][j].Sign() == 0 {
+				continue
+			}
+			u[j].Add(u[j], tnum.Mul(tmp[i], v[i][j]))
+		}
+	}
+
+	// Fold the nilpotent powers into the left weights: uPoly[a] = u·Nᵃ.
+	// N is strictly upper triangular, so the sequence terminates; the
+	// chain length in these models is the depth of a same-exit-rate
+	// detection cascade, two or three at most.
+	uPoly := [][]*big.Float{u}
+	for hasNilp {
+		prev := uPoly[len(uPoly)-1]
+		next := make([]*big.Float, n)
+		zero := true
+		for j := 0; j < n; j++ {
+			next[j] = newBF()
+			for jp := 0; jp < j; jp++ {
+				if nilp[jp][j].Sign() == 0 || prev[jp].Sign() == 0 {
+					continue
+				}
+				next[j].Add(next[j], tnum.Mul(prev[jp], nilp[jp][j]))
+			}
+			if next[j].Sign() != 0 {
+				zero = false
+			}
+		}
+		if zero {
+			break
+		}
+		uPoly = append(uPoly, next)
+		if len(uPoly) > n {
+			return nil, fmt.Errorf("%w: nilpotent chain did not terminate", ErrDefective)
+		}
+	}
+
+	d := &Decomposition{n: n, perm: perm, lambda: lambda, uPoly: uPoly, w: w, tMax: tMax}
+	d.buildClusters()
+	return d, nil
+}
+
+// buildClusters groups quasi-degenerate eigenvalues: adjacent (sorted)
+// eigenvalues merge while their gap is below clusterGapBudget/tMax. The
+// cluster reference is its largest member, so within-cluster offsets
+// δλ are non-positive and e^{δλ·t} stays in (0, 1].
+func (d *Decomposition) buildClusters() {
+	idx := make([]int, d.n)
+	for i := range idx {
+		idx[i] = i
+	}
+	lf := make([]float64, d.n)
+	for i, l := range d.lambda {
+		lf[i], _ = l.Float64()
+	}
+	sort.Slice(idx, func(a, b int) bool { return lf[idx[a]] < lf[idx[b]] })
+	gap := clusterGapBudget / d.tMax
+	var cur []int
+	flush := func() {
+		if len(cur) == 0 {
+			return
+		}
+		base := lf[cur[len(cur)-1]] // largest member (ascending order)
+		width := base - lf[cur[0]]
+		d.clusters = append(d.clusters, clusterSpec{base: base, width: width, members: cur})
+		cur = nil
+	}
+	for _, i := range idx {
+		if len(cur) > 0 && lf[i]-lf[cur[len(cur)-1]] > gap {
+			flush()
+		}
+		cur = append(cur, i)
+	}
+	flush()
+}
+
+// NumStates returns the decomposed chain's state count.
+func (d *Decomposition) NumStates() int { return d.n }
+
+// tarjan returns the strongly connected components of the graph in
+// reverse topological order of the condensation (every edge between
+// components points from a later-emitted component to an earlier one).
+func tarjan(n int, adj [][]int) [][]int {
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		stack []int
+		comps [][]int
+		next  int
+		visit func(int)
+	)
+	visit = func(vtx int) {
+		index[vtx] = next
+		low[vtx] = next
+		next++
+		stack = append(stack, vtx)
+		onStack[vtx] = true
+		for _, to := range adj[vtx] {
+			if index[to] == unvisited {
+				visit(to)
+				if low[to] < low[vtx] {
+					low[vtx] = low[to]
+				}
+			} else if onStack[to] && index[to] < low[vtx] {
+				low[vtx] = index[to]
+			}
+		}
+		if low[vtx] == index[vtx] {
+			var comp []int
+			for {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[top] = false
+				comp = append(comp, top)
+				if top == vtx {
+					break
+				}
+			}
+			comps = append(comps, comp)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if index[i] == unvisited {
+			visit(i)
+		}
+	}
+	return comps
+}

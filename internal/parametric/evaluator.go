@@ -1,0 +1,354 @@
+package parametric
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// Evaluator is one closed-form measure m(t) = Σ_c e^{λ_c t}·P_c(t) with
+// per-cluster polynomials P_c(t) = Σ_k S_{c,k}·t^k. Both the pointwise
+// value m(t) and the accumulated value ∫₀ᵗ m(u)du evaluate in a few
+// dozen float64 operations with no cancellation-prone branches.
+type Evaluator struct {
+	clusters []evalCluster
+	tMax     float64
+}
+
+type evalCluster struct {
+	base float64   // λ_c ≤ 0
+	coef []float64 // S_k, k = 0..K
+	mag  float64   // Σ|S_k|·teffᵏ, the float64 evaluation magnitude
+}
+
+// expUnderflow is the exponent below which e^z is exactly zero in
+// float64; clusters that deep in the transient contribute nothing
+// pointwise and only their total integral when accumulated.
+const expUnderflow = -745.0
+
+// evalTarget is the per-cluster evaluation magnitude Σ|S_k|·teffᵏ above
+// which Expansion tries to merge the cluster into a neighbor: float64
+// evaluation noise is roughly this magnitude times machine epsilon, so
+// 1e3 keeps it near 1e-13 absolute.
+const evalTarget = 1e3
+
+// coefBudget is the hard cap on the evaluation magnitude when no merge
+// is possible; beyond it the noise would exceed the 1e-9 contract for
+// O(1) probability measures and the expansion is refused.
+const coefBudget = 1e6
+
+// maxClusterSpan caps width·tMax for one merged cluster: the
+// within-cluster Taylor argument must stay small enough for a short
+// series (span 2 still converges below 1e-22 by order ~30).
+const maxClusterSpan = 2.0
+
+// taylorTail is the absolute remainder budget for the within-cluster
+// Taylor truncation over [0, tMax].
+const taylorTail = 1e-15
+
+// Expansion projects the decomposition onto one reward vector r
+// (indexed by original state) and returns its closed-form evaluator.
+func (d *Decomposition) Expansion(r []float64) (*Evaluator, error) {
+	if len(r) != d.n {
+		return nil, fmt.Errorf("%w: reward vector has %d entries for %d states", ErrStructure, len(r), d.n)
+	}
+	// Per-index polynomial residues β_{j,a} = (u·Nᵃ)ⱼ·(wⱼ·r)/a!, all in
+	// big arithmetic: the raw residues straddle huge cancelling
+	// magnitudes whenever eigenvalues nearly collide, and only the
+	// clustered sums below are float64-safe.
+	rp := make([]*big.Float, d.n)
+	for i := 0; i < d.n; i++ {
+		rp[i] = bf(r[d.perm[i]])
+	}
+	wr := make([]*big.Float, d.n)
+	t := newBF()
+	for i := 0; i < d.n; i++ {
+		s := newBF()
+		for j := 0; j < d.n; j++ {
+			if d.w[i][j].Sign() == 0 || rp[j].Sign() == 0 {
+				continue
+			}
+			s.Add(s, t.Mul(d.w[i][j], rp[j]))
+		}
+		wr[i] = s
+	}
+	beta := make([][]*big.Float, len(d.uPoly))
+	afact := 1.0
+	for a := range d.uPoly {
+		if a > 0 {
+			afact *= float64(a)
+		}
+		beta[a] = make([]*big.Float, d.n)
+		for j := 0; j < d.n; j++ {
+			b := newBF().Mul(d.uPoly[a][j], wr[j])
+			beta[a][j] = b.Quo(b, bf(afact))
+		}
+	}
+
+	// Working copy of the eigenvalue clusters, kept in ascending-λ order.
+	// Clusters whose expanded polynomial is too large for clean float64
+	// evaluation are merged with their nearest neighbor: a large
+	// magnitude means near-degenerate residues cancelling ACROSS the
+	// cluster boundary, and merging moves that cancellation back into
+	// exact big-float arithmetic.
+	groups := make([]clusterSpec, len(d.clusters))
+	copy(groups, d.clusters)
+	expanded := make([]*evalCluster, len(groups))
+	for {
+		worst, worstMag := -1, evalTarget
+		for gi := range groups {
+			if expanded[gi] == nil {
+				ec, mag, err := d.expandCluster(groups[gi], beta)
+				if err != nil {
+					return nil, err
+				}
+				ec.mag = mag
+				expanded[gi] = ec
+			}
+			if expanded[gi].mag > worstMag {
+				worst, worstMag = gi, expanded[gi].mag
+			}
+		}
+		if worst < 0 {
+			break
+		}
+		// Merge toward the closer neighbor, respecting the Taylor span
+		// cap. If neither side can absorb it, the expansion stands only
+		// if it is still inside the hard budget.
+		gi := worst
+		cand := -1
+		candGap := math.Inf(1)
+		lf := func(g clusterSpec) (lo, hi float64) { return g.base - g.width, g.base }
+		for _, nb := range []int{gi - 1, gi + 1} {
+			if nb < 0 || nb >= len(groups) {
+				continue
+			}
+			a, b := groups[gi], groups[nb]
+			aLo, aHi := lf(a)
+			bLo, bHi := lf(b)
+			lo := math.Min(aLo, bLo)
+			hi := math.Max(aHi, bHi)
+			if (hi-lo)*d.tMax > maxClusterSpan {
+				continue
+			}
+			gap := math.Abs(b.base - a.base)
+			if gap < candGap {
+				cand, candGap = nb, gap
+			}
+		}
+		if cand < 0 {
+			if worstMag > coefBudget {
+				return nil, fmt.Errorf("%w: cluster polynomial magnitude %g exceeds budget and cannot merge further", ErrUnstable, worstMag)
+			}
+			break
+		}
+		lo2, hi2 := gi, cand
+		if lo2 > hi2 {
+			lo2, hi2 = hi2, lo2
+		}
+		merged := clusterSpec{
+			base:    math.Max(groups[lo2].base, groups[hi2].base),
+			members: append(append([]int(nil), groups[lo2].members...), groups[hi2].members...),
+		}
+		merged.width = merged.base - math.Min(groups[lo2].base-groups[lo2].width, groups[hi2].base-groups[hi2].width)
+		groups = append(groups[:lo2], append([]clusterSpec{merged}, groups[hi2+1:]...)...)
+		expanded = append(expanded[:lo2], append([]*evalCluster{nil}, expanded[hi2+1:]...)...)
+	}
+
+	ev := &Evaluator{tMax: d.tMax}
+	for _, ec := range expanded {
+		ev.clusters = append(ev.clusters, *ec)
+	}
+	return ev, nil
+}
+
+// expandCluster computes one cluster's polynomial coefficients S_k in
+// big arithmetic and reports the float64 evaluation magnitude
+// Σ|S_k|·teffᵏ, where teff ends where e^{λ_c t} underflows (the
+// polynomial is never evaluated pointwise beyond that).
+func (d *Decomposition) expandCluster(c clusterSpec, beta [][]*big.Float) (*evalCluster, float64, error) {
+	base := bf(c.base)
+	teff := d.tMax
+	if c.base < 0 {
+		if cut := -expUnderflow / -c.base; cut < teff {
+			teff = cut
+		}
+	}
+	// Member j contributes e^{δλⱼt}·Σₐ β_{j,a}·tᵃ; the cluster
+	// coefficient is S_k = Σⱼ Σₐ β_{j,a}·δλⱼ^{k−a}/(k−a)!. The e^{δλt}
+	// truncation at Taylor order l leaves a remainder below
+	// B·(width·tMax)^{l+1}/(l+1)! with B = Σ|β|·teffᵃ.
+	bMag := 0.0
+	for _, j := range c.members {
+		ta := 1.0
+		for a := range beta {
+			f, _ := new(big.Float).Abs(beta[a][j]).Float64()
+			bMag += f * ta
+			ta *= teff
+		}
+	}
+	wt := c.width * d.tMax
+	if wt > maxClusterSpan {
+		return nil, 0, fmt.Errorf("%w: cluster span %g·tMax too wide for a short Taylor series", ErrUnstable, c.width)
+	}
+	taylor := 0
+	remainder := bMag * wt
+	for remainder > taylorTail {
+		if taylor >= maxTaylorOrder {
+			return nil, 0, fmt.Errorf("%w: Taylor remainder %g after order %d", ErrUnstable, remainder, maxTaylorOrder)
+		}
+		taylor++
+		remainder *= wt / float64(taylor+1)
+	}
+	kMax := taylor + len(beta) - 1
+	skBig := make([]*big.Float, kMax+1)
+	for k := range skBig {
+		skBig[k] = newBF()
+	}
+	scratch := newBF()
+	for _, j := range c.members {
+		dl := newBF().Sub(d.lambda[j], base)
+		for a := range beta {
+			if beta[a][j].Sign() == 0 {
+				continue
+			}
+			pw := newBF().Set(beta[a][j])
+			skBig[a].Add(skBig[a], pw)
+			for l := 1; a+l <= kMax; l++ {
+				pw.Mul(pw, scratch.Quo(dl, bf(float64(l))))
+				skBig[a+l].Add(skBig[a+l], pw)
+			}
+		}
+	}
+	coef := make([]float64, len(skBig))
+	for k, s := range skBig {
+		f, _ := s.Float64()
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return nil, 0, fmt.Errorf("%w: non-finite cluster coefficient", ErrUnstable)
+		}
+		coef[k] = f
+	}
+	mag, tk := 0.0, 1.0
+	for _, s := range coef {
+		mag += math.Abs(s) * tk
+		tk *= teff
+	}
+	if math.IsNaN(mag) {
+		return nil, 0, fmt.Errorf("%w: non-finite cluster polynomial magnitude", ErrUnstable)
+	}
+	return &evalCluster{base: c.base, coef: coef}, mag, nil
+}
+
+// At evaluates m(t).
+func (e *Evaluator) At(t float64) (float64, error) {
+	if err := e.checkT(t); err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for i := range e.clusters {
+		c := &e.clusters[i]
+		z := c.base * t
+		if z < expUnderflow {
+			continue
+		}
+		p := 0.0
+		for k := len(c.coef) - 1; k >= 0; k-- {
+			p = p*t + c.coef[k]
+		}
+		sum += math.Exp(z) * p
+	}
+	if math.IsNaN(sum) || math.IsInf(sum, 0) {
+		return 0, fmt.Errorf("%w: non-finite evaluation at t=%g", ErrUnstable, t)
+	}
+	return sum, nil
+}
+
+// IntAt evaluates ∫₀ᵗ m(u) du.
+func (e *Evaluator) IntAt(t float64) (float64, error) {
+	if err := e.checkT(t); err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for i := range e.clusters {
+		c := &e.clusters[i]
+		for k, s := range c.coef {
+			if s == 0 {
+				continue
+			}
+			sum += s * intExpPoly(c.base, t, k)
+		}
+	}
+	if math.IsNaN(sum) || math.IsInf(sum, 0) {
+		return 0, fmt.Errorf("%w: non-finite accumulated evaluation at t=%g", ErrUnstable, t)
+	}
+	return sum, nil
+}
+
+func (e *Evaluator) checkT(t float64) error {
+	if math.IsNaN(t) || t < 0 || t > e.tMax*(1+1e-9) {
+		return fmt.Errorf("%w: t=%g outside validated horizon [0, %g]", ErrOutOfDomain, t, e.tMax)
+	}
+	return nil
+}
+
+// kummerSwitch splits the two I_k regimes. Below it the confluent
+// series e^{λt}·M(1, k+2, |λ|t) is used (safe: M ≲ e^400/400 ≈ 1e171
+// stays in range); above it the complementary form with a negligible-
+// by-construction tail takes over.
+const kummerSwitch = 400.0
+
+// intExpPoly returns I_k(λ, t) = ∫₀ᵗ uᵏ·e^{λu} du for λ ≤ 0, k ≥ 0.
+//
+// Every branch sums only positive terms, so the result carries full
+// float64 relative accuracy across the whole (λt, k) range — unlike the
+// textbook recurrences in either direction, which cancel catastrophically
+// once |λt| ~ k.
+func intExpPoly(lambda, t float64, k int) float64 {
+	if t == 0 {
+		return 0
+	}
+	if lambda == 0 {
+		return math.Pow(t, float64(k+1)) / float64(k+1)
+	}
+	w := -lambda * t
+	if w < kummerSwitch {
+		// Substituting u = t·s and applying Kummer's transformation:
+		//   I_k = t^{k+1}/(k+1) · e^{-w} · M(1, k+2, w)
+		// with M(1, k+2, w) = Σ_m w^m / ((k+2)(k+3)…(k+1+m)), an
+		// all-positive series whose terms eventually decay geometrically.
+		m := 1.0
+		term := 1.0
+		for j := 0; ; j++ {
+			term *= w / float64(k+2+j)
+			m += term
+			if term < 1e-18*m {
+				break
+			}
+		}
+		return math.Pow(t, float64(k+1)) / float64(k+1) * math.Exp(-w) * m
+	}
+	// Deep decay: I_k = k!/|λ|^{k+1} − e^{-w}·Σ_j (k!/(k−j)!)·t^{k−j}/|λ|^{j+1}.
+	// Written in powers of t/w (= 1/|λ|) to stay far from float64
+	// overflow for any k ≤ 60. The boundary sum is below e^{-400}·k!·k
+	// relative to the leading term, so the subtraction loses no digits.
+	tw := t / w // = 1/|λ|
+	kfact := 1.0
+	powTW := tw
+	for j := 1; j <= k; j++ {
+		kfact *= float64(j)
+		powTW *= tw
+	}
+	full := kfact * powTW // k!/|λ|^{k+1}
+	// Boundary term j is (k!/(k−j)!)·t^{k−j}/|λ|^{j+1} = (k!/(k−j)!)·t^{k+1}/w^{j+1}.
+	tail := 0.0
+	fall := 1.0 // k!/(k−j)!
+	tPow := math.Pow(t, float64(k+1))
+	wInv := 1.0 / w
+	wPow := wInv
+	for j := 0; j <= k; j++ {
+		tail += fall * tPow * wPow
+		fall *= float64(k - j)
+		wPow *= wInv
+	}
+	return full - math.Exp(-w)*tail
+}

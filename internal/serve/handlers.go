@@ -101,7 +101,7 @@ func (s *Server) analyzer(ctx context.Context, p mdcd.Params) (*core.Analyzer, e
 	if a, ok := s.analyzers.Get(ctx, key); ok {
 		return a, nil
 	}
-	a, err := core.NewAnalyzer(p)
+	a, err := core.NewAnalyzerWithOptions(p, core.Options{Parametric: s.cfg.parametricMode()})
 	if err != nil {
 		return nil, err
 	}
@@ -272,7 +272,10 @@ func (s *Server) handlePropagate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) computePropagate(ctx context.Context, p mdcd.Params, g gammaSpec, samples int, seed int64, gridPoints int) *apiResult {
 	prop, err := uncertainty.PropagateContext(ctx, p,
 		uncertainty.Gamma{Shape: g.shape, Rate: g.rate},
-		uncertainty.PropagateOptions{Samples: samples, Seed: seed, GridPoints: gridPoints, Workers: s.cfg.Workers})
+		uncertainty.PropagateOptions{
+			Samples: samples, Seed: seed, GridPoints: gridPoints,
+			Workers: s.cfg.Workers, Parametric: s.cfg.parametricMode(),
+		})
 	if err != nil {
 		return errorResult(err)
 	}

@@ -36,7 +36,9 @@ func hit(h http.Handler, method, target, body string) *httptest.ResponseRecorder
 func TestCurveHappyPathAndResponseCache(t *testing.T) {
 	t.Parallel()
 	tr := obs.NewTracer()
-	s := New(Config{Tracer: tr})
+	// Parametric "off" pins the numeric serving path (solves > 0); the
+	// closed-form default is covered by TestCurveParametricDefault.
+	s := New(Config{Tracer: tr, Parametric: "off"})
 	h := s.Handler()
 
 	rec := hit(h, http.MethodPost, "/v1/curve", `{"points":8}`)
@@ -88,6 +90,46 @@ func TestCurveHappyPathAndResponseCache(t *testing.T) {
 	}
 }
 
+// TestCurveParametricDefault pins the daemon's default serving path: the
+// zero-value Config resolves to parametric "auto", so an in-domain curve
+// is served from closed forms — zero CTMC solver passes — and still
+// matches the numeric engine at the equivalence bound.
+func TestCurveParametricDefault(t *testing.T) {
+	t.Parallel()
+	tr := obs.NewTracer()
+	s := New(Config{Tracer: tr})
+	rec := hit(s.Handler(), http.MethodPost, "/v1/curve", `{"points":8}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body.String())
+	}
+	var resp curveResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Degraded || resp.PointsReturned != 9 {
+		t.Fatalf("response = %+v, want full undegraded curve", resp)
+	}
+	if resp.Solves != 0 {
+		t.Errorf("solves = %d, want 0 (closed-form serving)", resp.Solves)
+	}
+	if got := tr.Counter(obs.CtrParametricHits); got != 9 {
+		t.Errorf("parametric.hits = %d, want 9", got)
+	}
+	a, err := core.NewAnalyzer(mdcd.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 4, 8} {
+		want, err := a.Evaluate(resp.Results[i].Phi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := resp.Results[i].Y; math.Abs(got-want.Y) > 1e-8*math.Abs(want.Y) {
+			t.Errorf("Y(phi=%g) = %g parametric over HTTP, %g numeric direct", resp.Results[i].Phi, got, want.Y)
+		}
+	}
+}
+
 func TestCurveGETQuery(t *testing.T) {
 	t.Parallel()
 	s := New(Config{})
@@ -115,7 +157,9 @@ func TestOptimizeHappyPath(t *testing.T) {
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
-	a, err := core.NewAnalyzer(mdcd.DefaultParams())
+	// The server defaults to the parametric fast path; the bit-exact
+	// reference must run the same engine.
+	a, err := core.NewAnalyzerWithOptions(mdcd.DefaultParams(), core.Options{Parametric: core.ParametricAuto})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -33,6 +33,15 @@ type Config struct {
 	// ResponseCache bounds the whole-response cache (default: 8 shards,
 	// 512 responses, 5m TTL).
 	ResponseCache CacheConfig
+	// Parametric selects the analyzers' closed-form fast path: "auto"
+	// (the default, also chosen for ""): in-domain queries are served
+	// from precomputed closed forms in microseconds, everything else
+	// falls back to the numeric engine; "on": analyzer construction
+	// fails outside the validated domain; "off": numeric engine only.
+	// Any other value resolves to "auto" — the daemon's safe default —
+	// so a misconfigured deployment degrades to correct behavior
+	// instead of refusing to start.
+	Parametric string
 	// Tracer is the process tracer backing /metrics; nil runs untraced
 	// (counters become no-ops, /metrics serves an empty exposition).
 	Tracer *obs.Tracer
@@ -58,7 +67,23 @@ func (c Config) withDefaults() Config {
 	if c.ResponseCache.Capacity == 0 {
 		c.ResponseCache.Capacity = 512
 	}
+	if c.Parametric != "on" && c.Parametric != "off" {
+		c.Parametric = "auto"
+	}
 	return c
+}
+
+// parametricMode maps the resolved Config.Parametric string to the
+// analyzer option.
+func (c Config) parametricMode() core.ParametricMode {
+	switch c.Parametric {
+	case "on":
+		return core.ParametricOn
+	case "off":
+		return core.ParametricOff
+	default:
+		return core.ParametricAuto
+	}
 }
 
 // Server is the performability-as-a-service daemon: HTTP handlers over

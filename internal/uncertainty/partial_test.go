@@ -21,12 +21,12 @@ func withFailingAnalyzer(t *testing.T, failEvery int) *atomic.Int64 {
 	t.Helper()
 	var calls atomic.Int64
 	orig := newAnalyzer
-	newAnalyzer = func(p mdcd.Params) (*core.Analyzer, error) {
+	newAnalyzer = func(p mdcd.Params, o core.Options) (*core.Analyzer, error) {
 		c := calls.Add(1)
 		if failEvery > 0 && c%int64(failEvery) == 0 {
 			return nil, fmt.Errorf("injected solver failure (call %d): %w", c, robust.ErrIllConditioned)
 		}
-		return orig(p)
+		return orig(p, o)
 	}
 	t.Cleanup(func() { newAnalyzer = orig })
 	return &calls
@@ -179,12 +179,12 @@ func failAllBut(t *testing.T, keepEvery int, draws int) {
 	t.Helper()
 	var calls atomic.Int64
 	orig := newAnalyzer
-	newAnalyzer = func(p mdcd.Params) (*core.Analyzer, error) {
+	newAnalyzer = func(p mdcd.Params, o core.Options) (*core.Analyzer, error) {
 		c := calls.Add(1)
 		if c <= int64(draws) && c%int64(keepEvery) != 0 {
 			return nil, fmt.Errorf("injected solver failure (call %d): %w", c, robust.ErrIllConditioned)
 		}
-		return orig(p)
+		return orig(p, o)
 	}
 	t.Cleanup(func() { newAnalyzer = orig })
 }

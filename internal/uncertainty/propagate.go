@@ -35,6 +35,11 @@ type PropagateOptions struct {
 	// sequentially. The µ stream is pre-drawn, so the result is identical
 	// for every worker count.
 	Workers int
+	// Parametric selects the analyzer's closed-form fast path for the
+	// per-draw curve evaluations (core.ParametricAuto collapses each
+	// in-domain draw from solver runs to formula evaluations). The zero
+	// value keeps the numeric engine, like core.Options.
+	Parametric core.ParametricMode
 }
 
 func (o PropagateOptions) withDefaults() PropagateOptions {
@@ -112,7 +117,7 @@ type Propagation struct {
 
 // newAnalyzer builds the per-draw analyzer; a package variable so tests
 // can inject solver failures.
-var newAnalyzer = core.NewAnalyzer
+var newAnalyzer = core.NewAnalyzerWithOptions
 
 // Propagate draws µ_new from the posterior, evaluates the Y(φ) curve for
 // each draw, and aggregates the optimal-duration distribution together
@@ -164,7 +169,7 @@ func PropagateContext(ctx context.Context, p mdcd.Params, posterior Gamma, opts 
 	pr, err := robust.RunBatch(ctx, mus, func(_ context.Context, mu float64) (sampleEval, error) {
 		params := p
 		params.MuNew = mu
-		a, err := newAnalyzer(params)
+		a, err := newAnalyzer(params, core.Options{Parametric: opts.Parametric})
 		if err != nil {
 			return sampleEval{}, fmt.Errorf("uncertainty: draw mu=%g: %w", mu, err)
 		}
@@ -230,7 +235,7 @@ func PropagateContext(ctx context.Context, p mdcd.Params, posterior Gamma, opts 
 
 	plugIn := p
 	plugIn.MuNew = posterior.Mean()
-	a, err := newAnalyzer(plugIn)
+	a, err := newAnalyzer(plugIn, core.Options{Parametric: opts.Parametric})
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"testing"
 
+	"guardedop/internal/core"
 	"guardedop/internal/mdcd"
 )
 
@@ -185,5 +186,40 @@ func TestPropagateValidation(t *testing.T) {
 	bad.Theta = -1
 	if _, err := Propagate(bad, Gamma{Shape: 1, Rate: 1e4}, PropagateOptions{}); err == nil {
 		t.Error("invalid params accepted")
+	}
+}
+
+// TestPropagateParametricMatchesNumeric threads the closed-form fast path
+// through a full propagation: the same seed under ParametricAuto must
+// reproduce the numeric run's decision quantities (identical draws, the
+// same grid argmaxes, and expected indices within the engines' 1e-9
+// equivalence bound).
+func TestPropagateParametricMatchesNumeric(t *testing.T) {
+	p := mdcd.DefaultParams()
+	posterior := Gamma{Shape: 4, Rate: 4e4}
+	opts := PropagateOptions{Samples: 30, Seed: 5, GridPoints: 10}
+	numeric, err := Propagate(p, posterior, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parametric = core.ParametricAuto
+	par, err := Propagate(p, posterior, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.SamplesUsed != numeric.SamplesUsed {
+		t.Fatalf("survivors differ: %d vs %d", par.SamplesUsed, numeric.SamplesUsed)
+	}
+	if par.RobustPhi != numeric.RobustPhi || par.PlugInPhi != numeric.PlugInPhi {
+		t.Errorf("decisions differ: robust %v vs %v, plug-in %v vs %v",
+			par.RobustPhi, numeric.RobustPhi, par.PlugInPhi, numeric.PlugInPhi)
+	}
+	if rel := math.Abs(par.RobustEY-numeric.RobustEY) / numeric.RobustEY; rel > 1e-9 {
+		t.Errorf("robust E[Y] differs by %.3g relative: %v vs %v", rel, par.RobustEY, numeric.RobustEY)
+	}
+	for i := range numeric.MaxYs {
+		if rel := math.Abs(par.MaxYs[i]-numeric.MaxYs[i]) / numeric.MaxYs[i]; rel > 1e-9 {
+			t.Errorf("draw %d: max Y differs by %.3g relative", i, rel)
+		}
 	}
 }
