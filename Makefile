@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race race-parallel lint fmt-check selfcheck modelcheck serve-smoke bench bench-curve bench-parametric repro coverage clean
+.PHONY: all build vet test test-short race race-parallel lint fmt-check selfcheck modelcheck serve-smoke templates bench bench-curve bench-parametric repro coverage clean
 
 all: build lint test
 
@@ -59,6 +59,15 @@ selfcheck:
 modelcheck:
 	$(GO) run ./cmd/gsueval -modelcheck
 
+# Scenario-template matrix: generate the N × guard-policy GSU family
+# through internal/template (N ∈ {3,5,8} crossed with every guard
+# policy; every generated state space is model-checked before any
+# solve), sweep each instance, and collect the per-instance state-space
+# statistics into templates-stats.txt — the CI artifact. See
+# docs/TEMPLATES.md.
+templates:
+	bash scripts/templates_matrix.sh
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -84,4 +93,4 @@ coverage:
 	$(GO) tool cover -func=coverage.out | tail -1
 
 clean:
-	rm -f coverage.out test_output.txt bench_output.txt
+	rm -f coverage.out test_output.txt bench_output.txt templates-stats.txt

@@ -8,6 +8,7 @@
 //	gsueval -experiment fig9
 //	gsueval -all [-keep-going] [-timeout 2m]
 //	gsueval -sweep -theta 10000 -munew 1e-4 -coverage 0.95 -alpha 6000 -beta 6000
+//	gsueval -scenario spec.json -points 20
 //	gsueval -selfcheck
 //	gsueval -modelcheck
 //
@@ -15,6 +16,11 @@
 // curve, the optimal duration, and every constituent measure at the
 // optimum — the workflow a designer would use to pick φ for their own
 // system.
+//
+// The -scenario mode generalises -sweep beyond the paper's two-node
+// system: it loads a declarative scenario spec (JSON; docs/TEMPLATES.md),
+// generates and model-checks the N-node constituent models with
+// internal/template, and runs the same sweep/optimize workflow on them.
 //
 // The -selfcheck mode is a health gate: it statically verifies the
 // translated models (see -modelcheck), then runs the analyzer invariant
@@ -45,6 +51,7 @@ import (
 	"guardedop/internal/obs"
 	"guardedop/internal/obs/pprofutil"
 	"guardedop/internal/robust"
+	"guardedop/internal/template"
 	"guardedop/internal/textplot"
 )
 
@@ -93,6 +100,7 @@ func run(args []string) (err error) {
 		all         = fs.Bool("all", false, "run every experiment")
 		outDir      = fs.String("out", "", "with -all: also write each report to <dir>/<id>.txt")
 		sweepMode   = fs.Bool("sweep", false, "sweep Y(phi) for a custom parameter set")
+		scenarioF   = fs.String("scenario", "", "sweep a templated N-node scenario loaded from this JSON spec file (docs/TEMPLATES.md)")
 		selfcheck   = fs.Bool("selfcheck", false, "run the invariant suite and simulator cross-check as a health gate")
 		modelcheck  = fs.Bool("modelcheck", false, "statically verify the translated models and exit")
 		optimize    = fs.Bool("optimize", false, "with -sweep: also refine the optimal phi continuously (golden-section)")
@@ -225,6 +233,19 @@ func run(args []string) (err error) {
 		}
 		return e.Run(os.Stdout)
 
+	case *scenarioF != "":
+		return scenarioSweep(ctx, *scenarioF, sweepConfig{
+			points:     *points,
+			refine:     *optimize,
+			csvOut:     *csvOut,
+			keepGoing:  *keepGoing,
+			workers:    *parallel,
+			metrics:    *metricsVal,
+			tracer:     tracer,
+			manifest:   man,
+			parametric: parametric,
+		})
+
 	case *sweepMode:
 		return sweep(ctx, params, sweepConfig{
 			points:     *points,
@@ -240,7 +261,7 @@ func run(args []string) (err error) {
 
 	default:
 		fs.Usage()
-		return fmt.Errorf("choose one of -list, -experiment, -all, -sweep, -selfcheck, -modelcheck")
+		return fmt.Errorf("choose one of -list, -experiment, -all, -sweep, -scenario, -selfcheck, -modelcheck")
 	}
 }
 
@@ -327,6 +348,50 @@ func sweep(ctx context.Context, p mdcd.Params, cfg sweepConfig) error {
 	if err != nil {
 		return err
 	}
+	return sweepWith(ctx, a, p, cfg)
+}
+
+// scenarioSweep is the -scenario mode: generate the templated models,
+// verify them, and run the standard sweep workflow on the scenario
+// analyzer. The generated state spaces are model-checked inside
+// template.Build before anything is solved, and the build emits the
+// template.instances / template.states counters onto the trace.
+func scenarioSweep(ctx context.Context, path string, cfg sweepConfig) error {
+	spec, err := template.Load(path)
+	if err != nil {
+		return err
+	}
+	inst, err := template.Build(ctx, spec)
+	if err != nil {
+		return err
+	}
+	a, err := core.NewScenarioAnalyzer(core.ScenarioModels{
+		Params: inst.Params,
+		Gd:     inst.Gd,
+		NdNew:  inst.NdNew,
+		NdOld:  inst.NdOld,
+		Rhos:   inst.Rhos,
+	}, core.Options{Parametric: cfg.parametric})
+	if err != nil {
+		return err
+	}
+	if cfg.manifest != nil {
+		cfg.manifest.Params = paramsMap(inst.Params)
+	}
+	fmt.Printf("scenario %q: %d nodes, policy %s, %d generated states (Gp: %s)\n",
+		spec.Name, len(spec.Nodes), spec.Policy(), inst.TotalStates, gpModeLabel(inst))
+	return sweepWith(ctx, a, inst.Params, cfg)
+}
+
+// gpModeLabel describes how the overhead measures were solved.
+func gpModeLabel(inst *template.Instance) string {
+	if inst.GpMeanField {
+		return "mean-field"
+	}
+	return fmt.Sprintf("joint, %d states", inst.GpStates)
+}
+
+func sweepWith(ctx context.Context, a *core.Analyzer, p mdcd.Params, cfg sweepConfig) error {
 	grid := core.SweepGrid(p.Theta, cfg.points)
 	if cfg.manifest != nil {
 		// Enrich the run manifest before the sweep so even a failed run's
@@ -358,9 +423,12 @@ func sweep(ctx context.Context, p mdcd.Params, cfg sweepConfig) error {
 		c := experiments.Curve{Label: "sweep", Params: p, Phis: phis, Results: results}
 		return experiments.WriteResultsCSV(os.Stdout, c)
 	}
-	rho1, rho2 := a.Rho()
 	fmt.Printf("parameters: %+v\n", p)
-	fmt.Printf("derived overhead parameters: rho1 = %.4f, rho2 = %.4f\n\n", rho1, rho2)
+	fmt.Print("derived overhead parameters:")
+	for i, rho := range a.Rhos() {
+		fmt.Printf(" rho%d = %.4f", i+1, rho)
+	}
+	fmt.Print("\n\n")
 
 	rows := [][]string{{"phi", "Y", "E[W_phi]", "Y^S1", "Y^S2", "gamma", "P(S1)"}}
 	best := results[0]

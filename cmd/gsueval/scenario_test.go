@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"guardedop/internal/obs"
+)
+
+// The scenario-mode acceptance run: an eight-node two-upgrade scenario
+// must solve end-to-end through -scenario, and the -trace manifest must
+// record the template instance and generated-state counters.
+func TestScenarioSweepTraceManifest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	out, err := capture(t, func() error {
+		return run([]string{
+			"-scenario", filepath.Join("..", "..", "examples", "scenarios", "eight-node.json"),
+			"-points", "4", "-trace", path,
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`scenario "eight-node": 8 nodes, policy per-node`,
+		"Gp: mean-field",
+		"optimal phi (grid)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scenario sweep output missing %q:\n%s", want, out)
+		}
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc obs.TraceDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	m := doc.Manifest
+	if m.Counters[obs.CtrTemplateInstances] != 1 {
+		t.Errorf("counters[%s] = %d, want 1", obs.CtrTemplateInstances, m.Counters[obs.CtrTemplateInstances])
+	}
+	if m.Counters[obs.CtrTemplateStates] == 0 {
+		t.Errorf("counters[%s] = 0, want the generated state count", obs.CtrTemplateStates)
+	}
+	if m.Params["theta"] != 100 {
+		t.Errorf("manifest params not taken from the spec: %+v", m.Params)
+	}
+	if m.GridPoints != 5 {
+		t.Errorf("grid_points = %d, want 5", m.GridPoints)
+	}
+}
+
+// The canonical three-node example spec must solve with the exact joint
+// overhead model and print a per-node rho for every node.
+func TestScenarioThreeNodeJointGp(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{
+			"-scenario", filepath.Join("..", "..", "examples", "scenarios", "three-node.json"),
+			"-points", "4",
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Gp: joint") {
+		t.Errorf("three-node scenario did not use the joint Gp model:\n%s", out)
+	}
+	if !strings.Contains(out, "rho3 =") {
+		t.Errorf("missing per-node overhead parameters:\n%s", out)
+	}
+}
+
+// Scenario errors must be actionable: a missing file and an invalid spec
+// both name the problem.
+func TestScenarioErrors(t *testing.T) {
+	if _, err := capture(t, func() error {
+		return run([]string{"-scenario", filepath.Join(t.TempDir(), "nope.json")})
+	}); err == nil || !strings.Contains(err.Error(), "reading spec") {
+		t.Errorf("missing spec file error = %v", err)
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if werr := os.WriteFile(bad, []byte(`{"name":"x","theta":-1}`), 0o644); werr != nil {
+		t.Fatal(werr)
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"-scenario", bad})
+	}); err == nil || !strings.Contains(err.Error(), "theta") {
+		t.Errorf("invalid spec error = %v", err)
+	}
+}

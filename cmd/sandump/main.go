@@ -9,9 +9,17 @@
 //	sandump -model rmgd
 //	sandump -model rmgp -alpha 2500 -beta 2500
 //	sandump -model rmnd -mu1 1e-8
+//	sandump -spec scenario.json -part gd
+//
+// With -spec, sandump renders one of the models generated from a
+// templated N-node scenario (internal/template, docs/TEMPLATES.md)
+// instead of a handwritten paper model: -part selects the guarded
+// dependability model (gd), a normal-mode model (ndnew, ndold), or the
+// joint overhead model (gp, available when it was built exactly).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +28,7 @@ import (
 	"guardedop/internal/mdcd"
 	"guardedop/internal/reward"
 	"guardedop/internal/statespace"
+	"guardedop/internal/template"
 	"guardedop/internal/textplot"
 )
 
@@ -34,6 +43,8 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("sandump", flag.ContinueOnError)
 	var (
 		model    = fs.String("model", "rmgd", "model to dump: rmgd, rmgp or rmnd")
+		specPath = fs.String("spec", "", "dump a generated scenario model instead (JSON spec file; docs/TEMPLATES.md)")
+		part     = fs.String("part", "gd", "with -spec: which generated model to dump: gd, ndnew, ndold or gp")
 		dotMode  = fs.String("dot", "", "emit Graphviz instead of text: \"san\" for the model structure, \"space\" for the reachability graph")
 		mu1      = fs.Float64("mu1", 1e-4, "first-component fault rate for rmnd")
 		theta    = fs.Float64("theta", 10000, "time to next upgrade (hours)")
@@ -57,6 +68,14 @@ func run(args []string) error {
 		space      *statespace.Space
 		structures map[string]*reward.Structure
 	)
+	if *specPath != "" {
+		var err error
+		space, structures, err = scenarioSpace(*specPath, *part)
+		if err != nil {
+			return err
+		}
+		return render(space, structures, *dotMode)
+	}
 	switch *model {
 	case "rmgd":
 		gd, err := mdcd.BuildRMGd(p)
@@ -85,7 +104,12 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown model %q (rmgd, rmgp or rmnd)", *model)
 	}
-	switch *dotMode {
+	return render(space, structures, *dotMode)
+}
+
+// render writes the selected view of a generated space.
+func render(space *statespace.Space, structures map[string]*reward.Structure, dotMode string) error {
+	switch dotMode {
 	case "":
 		return dump(space, structures)
 	case "san":
@@ -93,7 +117,35 @@ func run(args []string) error {
 	case "space":
 		return space.WriteDot(os.Stdout)
 	default:
-		return fmt.Errorf("unknown -dot mode %q (san or space)", *dotMode)
+		return fmt.Errorf("unknown -dot mode %q (san or space)", dotMode)
+	}
+}
+
+// scenarioSpace builds a templated scenario and picks the requested
+// generated model out of it.
+func scenarioSpace(path, part string) (*statespace.Space, map[string]*reward.Structure, error) {
+	spec, err := template.Load(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	inst, err := template.Build(context.Background(), spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch part {
+	case "gd":
+		return inst.Gd.Space, inst.Gd.Table1Structures(), nil
+	case "ndnew":
+		return inst.NdNew.Space, map[string]*reward.Structure{}, nil
+	case "ndold":
+		return inst.NdOld.Space, map[string]*reward.Structure{}, nil
+	case "gp":
+		if inst.GpSpace == nil {
+			return nil, nil, fmt.Errorf("scenario %q solved Gp by mean-field (no joint space to dump); shrink the scenario below the joint-model cap", spec.Name)
+		}
+		return inst.GpSpace, map[string]*reward.Structure{}, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown -part %q (gd, ndnew, ndold or gp)", part)
 	}
 }
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -92,5 +93,28 @@ func TestDumpDotModes(t *testing.T) {
 	}
 	if _, err := capture(t, func() error { return run([]string{"-dot", "bogus"}) }); err == nil {
 		t.Error("unknown dot mode accepted")
+	}
+}
+
+func TestDumpScenarioSpec(t *testing.T) {
+	spec := filepath.Join("..", "..", "examples", "scenarios", "three-node.json")
+	out, err := capture(t, func() error { return run([]string{"-spec", spec, "-part", "gd"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"model Gd:three-node", "P3.ctn", "detected", "int_h"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scenario gd dump missing %q", want)
+		}
+	}
+	out, err = capture(t, func() error { return run([]string{"-spec", spec, "-part", "gp", "-dot", "san"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "digraph \"Gp:three-node\"") {
+		t.Errorf("scenario gp dot output wrong:\n%s", out)
+	}
+	if _, err := capture(t, func() error { return run([]string{"-spec", spec, "-part", "wat"}) }); err == nil {
+		t.Error("unknown -part accepted")
 	}
 }

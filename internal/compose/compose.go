@@ -13,6 +13,7 @@ package compose
 
 import (
 	"fmt"
+	"sort"
 
 	"guardedop/internal/san"
 )
@@ -85,10 +86,6 @@ func sortedLabels(parts map[string]Template) []string {
 	for l := range parts {
 		labels = append(labels, l)
 	}
-	for i := 1; i < len(labels); i++ {
-		for j := i; j > 0 && labels[j] < labels[j-1]; j-- {
-			labels[j], labels[j-1] = labels[j-1], labels[j]
-		}
-	}
+	sort.Strings(labels)
 	return labels
 }

@@ -132,6 +132,62 @@ func TestJoinDeterministicStateSpace(t *testing.T) {
 	}
 }
 
+// TestComposeDeterminismRegression guards the sortedLabels contract the
+// template layer relies on: repeated builds of the same composition must
+// produce byte-identical place indexing and state-space ordering, not
+// merely the same state count (map iteration order must never leak into
+// the generated artifacts).
+func TestComposeDeterminismRegression(t *testing.T) {
+	type snapshot struct {
+		places string
+		states string
+	}
+	build := func(kind string) snapshot {
+		var (
+			model *san.Model
+			err   error
+		)
+		switch kind {
+		case "replicate":
+			model, _, err = Replicate("det", 3,
+				[]SharedPlaceSpec{{Name: "repairQueue", Initial: 0}},
+				machineTemplate(0.5))
+		case "join":
+			model, _, err = Join("det",
+				[]SharedPlaceSpec{{Name: "repairQueue", Initial: 0}},
+				map[string]Template{
+					"a": machineTemplate(0.5),
+					"b": machineTemplate(1.5),
+					"c": machineTemplate(0.25),
+				})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := statespace.Generate(model, statespace.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap snapshot
+		for _, p := range model.Places() {
+			snap.places += p.Name() + ";"
+		}
+		for _, mk := range sp.States {
+			snap.states += mk.Key() + "\n"
+		}
+		return snap
+	}
+	for _, kind := range []string{"replicate", "join"} {
+		first := build(kind)
+		for i := 0; i < 3; i++ {
+			if again := build(kind); again != first {
+				t.Fatalf("%s build %d diverged from first build\nplaces: %q vs %q",
+					kind, i+1, again.places, first.places)
+			}
+		}
+	}
+}
+
 func TestJoinValidation(t *testing.T) {
 	if _, _, err := Replicate("bad", 0, nil, machineTemplate(1)); err == nil {
 		t.Error("replica count 0 accepted")

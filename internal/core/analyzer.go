@@ -28,10 +28,15 @@ type Analyzer struct {
 	params mdcd.Params
 
 	gd     *mdcd.RMGd
-	gp     mdcd.GpMeasures
 	ndNew  *mdcd.RMNd     // normal mode with the upgraded pair {P1new, P2}
 	ndOld  *mdcd.RMNd     // normal mode with the recovered pair {P1old, P2}
 	ndPair *mdcd.RMNdPair // both RMNd instantiations stacked into one chain
+
+	// rhos holds the solved per-process forward-progress fractions, one
+	// per active process. The paper's two-process study yields
+	// [ρ₁, ρ₂]; templated scenarios carry one entry per node. Its length
+	// is the A of the Eq. 5–21 assembly (the paper's literal 2).
+	rhos []float64
 
 	// Bounded memo caches keyed by the solve horizon (see ctmc.SolveCache).
 	gdSolves    *ctmc.SolveCache // RMGd π(φ) and L(φ), one combined pass
@@ -132,6 +137,84 @@ func NewAnalyzerWithOptions(p mdcd.Params, o Options) (*Analyzer, error) {
 	if err := verifySpace("RMNd(mu_old)", ndOld.Space); err != nil {
 		return nil, err
 	}
+	return finishAnalyzer(p, gd, ndNew, ndOld, []float64{gpm.Rho1, gpm.Rho2}, o.Parametric, o.Parametric == ParametricOn)
+}
+
+// ScenarioModels carries the constituent models of a templated scenario
+// into the analyzer: the internal/template layer builds them from a
+// declarative spec and hands them over here, so the curve engine, the
+// optimizer, and the serving layer run unchanged on any generated
+// instance.
+type ScenarioModels struct {
+	// Params is the scenario's translation-layer parameter set (θ drives
+	// the grids and horizons; the rate fields describe the defaults the
+	// heterogeneous nodes deviate from).
+	Params mdcd.Params
+	// Gd is the scenario's guarded-operation dependability model.
+	Gd *mdcd.RMGd
+	// NdNew / NdOld are the normal-mode models of the upgraded and
+	// recovered configurations.
+	NdNew, NdOld *mdcd.RMNd
+	// Rhos holds one solved forward-progress fraction per node.
+	Rhos []float64
+}
+
+// parametricScenarioMaxStates gates the closed-form layer for scenario
+// analyzers: the spectral decomposition is validated for the handwritten
+// model family's small spaces, so only comparably small generated Gd
+// spaces attempt it. Larger scenarios always use the numeric engine.
+const parametricScenarioMaxStates = 32
+
+// NewScenarioAnalyzer wraps template-generated constituent models into an
+// Analyzer. The models must already be generated and verified (the
+// template layer modelchecks every instance); this re-verifies them
+// before wiring the solver machinery, mirroring NewAnalyzerWithOptions.
+//
+// The closed-form parametric layer is attempted with auto semantics
+// regardless of whether the caller asked for ParametricOn: generated
+// spaces can be far larger than the handwritten family the layer was
+// validated on, so an unavailable closed form degrades to the numeric
+// engine instead of failing construction.
+func NewScenarioAnalyzer(sm ScenarioModels, o Options) (*Analyzer, error) {
+	if err := sm.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if sm.Gd == nil || sm.NdNew == nil || sm.NdOld == nil {
+		return nil, fmt.Errorf("core: scenario models incomplete: %w", robust.ErrInvariant)
+	}
+	if len(sm.Rhos) < 2 {
+		return nil, fmt.Errorf("core: scenario needs at least two per-node rho values, got %d: %w",
+			len(sm.Rhos), robust.ErrInvariant)
+	}
+	for i, rho := range sm.Rhos {
+		if err := robust.CheckProbability(fmt.Sprintf("rho[%d]", i), rho, probabilityTol); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range []struct {
+		name string
+		sp   *statespace.Space
+	}{
+		{"scenario RMGd", sm.Gd.Space},
+		{"scenario RMNd(new)", sm.NdNew.Space},
+		{"scenario RMNd(old)", sm.NdOld.Space},
+	} {
+		if err := verifySpace(c.name, c.sp); err != nil {
+			return nil, err
+		}
+	}
+	mode := o.Parametric
+	if mode != ParametricOff && sm.Gd.Space.NumStates() > parametricScenarioMaxStates {
+		mode = ParametricOff
+	}
+	return finishAnalyzer(sm.Params, sm.Gd, sm.NdNew, sm.NdOld, append([]float64(nil), sm.Rhos...), mode, false)
+}
+
+// finishAnalyzer wires the solver machinery shared by the handwritten and
+// templated construction paths: the stacked RMNd pair, the per-model
+// solve caches, the φ-independent P(X″_θ ∈ A″₁), and the optional
+// closed-form parametric layer.
+func finishAnalyzer(p mdcd.Params, gd *mdcd.RMGd, ndNew, ndOld *mdcd.RMNd, rhos []float64, mode ParametricMode, requirePar bool) (*Analyzer, error) {
 	ndPair, err := mdcd.NewRMNdPair(ndNew, ndOld)
 	if err != nil {
 		return nil, fmt.Errorf("core: stacking RMNd pair: %w", err)
@@ -153,12 +236,12 @@ func NewAnalyzerWithOptions(p mdcd.Params, o Options) (*Analyzer, error) {
 		return nil, fmt.Errorf("core: solving P(X''_theta in A''_1): %w", err)
 	}
 	var par *parametric.System
-	switch o.Parametric {
+	switch mode {
 	case ParametricOff:
 	case ParametricAuto, ParametricOn:
 		par, err = parametric.NewSystem(p, gd, ndNew, ndOld)
 		if err != nil {
-			if o.Parametric == ParametricOn {
+			if requirePar {
 				return nil, fmt.Errorf("core: parametric system required but unavailable: %w", err)
 			}
 			// Auto: the numeric engine covers the whole parameter space;
@@ -167,12 +250,12 @@ func NewAnalyzerWithOptions(p mdcd.Params, o Options) (*Analyzer, error) {
 			par = nil
 		}
 	default:
-		return nil, fmt.Errorf("core: unknown parametric mode %d", o.Parametric)
+		return nil, fmt.Errorf("core: unknown parametric mode %d", mode)
 	}
 	return &Analyzer{
 		params:          p,
 		gd:              gd,
-		gp:              gpm,
+		rhos:            rhos,
 		ndNew:           ndNew,
 		ndOld:           ndOld,
 		ndPair:          ndPair,
@@ -180,7 +263,7 @@ func NewAnalyzerWithOptions(p mdcd.Params, o Options) (*Analyzer, error) {
 		ndNewSolves:     ndNewSolves,
 		ndOldSolves:     ndOldSolves,
 		par:             par,
-		parMode:         o.Parametric,
+		parMode:         mode,
 		pNoFailNewTheta: pTheta,
 	}, nil
 }
@@ -217,8 +300,15 @@ func (a *Analyzer) CacheStats() map[string]obs.CacheStats {
 	}
 }
 
-// Rho returns the solved forward-progress fractions (ρ₁, ρ₂).
-func (a *Analyzer) Rho() (rho1, rho2 float64) { return a.gp.Rho1, a.gp.Rho2 }
+// Rho returns the solved forward-progress fractions of the first two
+// processes (ρ₁, ρ₂) — the complete set for the paper's two-process
+// study. Scenario analyzers with more nodes expose the full vector
+// through Rhos.
+func (a *Analyzer) Rho() (rho1, rho2 float64) { return a.rhos[0], a.rhos[1] }
+
+// Rhos returns a copy of the per-process forward-progress fractions, one
+// entry per active process.
+func (a *Analyzer) Rhos() []float64 { return append([]float64(nil), a.rhos...) }
 
 // Result carries the performability index for one G-OP duration together
 // with every intermediate quantity of the translation, so callers can
@@ -363,14 +453,19 @@ func (a *Analyzer) evaluatePointwise(phi float64, policy GammaPolicy) (Result, e
 // the curve engine.
 func (a *Analyzer) assemble(phi float64, policy GammaPolicy, gdm mdcd.GdMeasures, pNoFailNewRem, pNoFailOldRem float64) (Result, error) {
 	p := a.params
+	// A, the number of active processes, generalises the literal 2 of the
+	// paper's two-process Eqs. 5–21. With the handwritten models A == 2.0
+	// exactly, so every product below is bit-identical to the historical
+	// hardwired form.
+	active := float64(len(a.rhos))
 	res := Result{
 		Phi:             phi,
-		EWI:             2 * p.Theta,
-		Rho1:            a.gp.Rho1,
-		Rho2:            a.gp.Rho2,
+		EWI:             active * p.Theta,
+		Rho1:            a.rhos[0],
+		Rho2:            a.rhos[1],
 		PNoFailNewTheta: a.pNoFailNewTheta,
 	}
-	res.EW0 = 2 * p.Theta * a.pNoFailNewTheta
+	res.EW0 = active * p.Theta * a.pNoFailNewTheta
 	res.Gd = gdm
 	res.PNoFailNewRem = pNoFailNewRem
 	res.IntF = 1 - pNoFailOldRem
@@ -382,10 +477,15 @@ func (a *Analyzer) assemble(phi float64, policy GammaPolicy, gdm mdcd.GdMeasures
 		res.PS1 = a.pNoFailNewTheta
 	}
 
-	rhoSum := res.Rho1 + res.Rho2
+	// Left-to-right accumulation keeps the two-process sum exactly
+	// rhos[0] + rhos[1], the historical Rho1 + Rho2 evaluation order.
+	rhoSum := 0.0
+	for _, rho := range a.rhos {
+		rhoSum += rho
+	}
 
 	// Eq. 8: Y^{S1}.
-	res.YS1 = (rhoSum*phi + 2*(p.Theta-phi)) * res.PS1
+	res.YS1 = (rhoSum*phi + active*(p.Theta-phi)) * res.PS1
 
 	gamma, err := gammaFor(policy, gdm, p.Theta)
 	if err != nil {
@@ -394,8 +494,8 @@ func (a *Analyzer) assemble(phi float64, policy GammaPolicy, gdm mdcd.GdMeasures
 	res.Gamma = gamma
 
 	// Eqs. 15/16/21: Y^{S2} = γ(minuend − subtrahend).
-	minuend := 2*p.Theta*gdm.IntH - (2-rhoSum)*gdm.IntTauH
-	subtrahend := 2*p.Theta*gdm.IntHF + 2*p.Theta*gdm.IntH*res.IntF
+	minuend := active*p.Theta*gdm.IntH - (active-rhoSum)*gdm.IntTauH
+	subtrahend := active*p.Theta*gdm.IntHF + active*p.Theta*gdm.IntH*res.IntF
 	res.YS2 = res.Gamma * (minuend - subtrahend)
 	if res.YS2 < 0 {
 		// The translation can only produce a negative Y^{S2} through the

@@ -1,0 +1,47 @@
+package mdcd
+
+import (
+	"fmt"
+
+	"guardedop/internal/san"
+	"guardedop/internal/statespace"
+)
+
+// NewRMGdFromSpace wraps an externally generated state space as an RMGd.
+//
+// The Table 1 reward structures — and therefore every measure the
+// analyzer asks of a Gd model — are pure functions of the detected and
+// failure places, so any SAN whose marking carries those two flags with
+// the paper's semantics (detected==1 ⇒ recovered to normal mode,
+// failure==1 ⇒ absorbing undetected failure) yields a valid Gd model
+// regardless of how many processes, guard policies, or contamination
+// places the scenario template generated around them. The per-process
+// place handles of the handwritten model stay nil: they exist only for
+// the monolithic simulator, which runs exclusively on the handwritten
+// two-process model.
+func NewRMGdFromSpace(sp *statespace.Space, detected, failure *san.Place) (*RMGd, error) {
+	if sp == nil || detected == nil || failure == nil {
+		return nil, fmt.Errorf("mdcd: NewRMGdFromSpace: nil space or place")
+	}
+	r := &RMGd{Space: sp, Detected: detected, Failure: failure}
+	r.buildRateVectors()
+	return r, nil
+}
+
+// NewRMNdFromSpace wraps an externally generated state space as an RMNd.
+// The normal-mode model's only measure, P(no failure by t), reads the
+// failure place alone; the contamination place handles stay nil as in
+// NewRMGdFromSpace.
+func NewRMNdFromSpace(sp *statespace.Space, failure *san.Place) (*RMNd, error) {
+	if sp == nil || failure == nil {
+		return nil, fmt.Errorf("mdcd: NewRMNdFromSpace: nil space or place")
+	}
+	r := &RMNd{Space: sp, Failure: failure}
+	r.noFailRates = make([]float64, sp.NumStates())
+	for i, mk := range sp.States {
+		if mk.Get(failure) == 0 {
+			r.noFailRates[i] = 1
+		}
+	}
+	return r, nil
+}

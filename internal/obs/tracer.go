@@ -31,6 +31,12 @@ const (
 	CtrParametricFallbacks = "parametric.fallbacks"
 	// CtrRetries counts batch-item retry attempts.
 	CtrRetries = "robust.retries"
+	// CtrTemplateInstances counts constituent models generated from
+	// scenario templates; CtrTemplateStates accumulates their tangible
+	// state counts, so a run manifest shows the structural size of the
+	// scenario it solved.
+	CtrTemplateInstances = "template.instances"
+	CtrTemplateStates    = "template.states"
 
 	// Serving-path counters (internal/serve, cmd/gsuserve). They share
 	// the dotted-vocabulary convention so the daemon's /metrics endpoint

@@ -178,6 +178,9 @@ func decodeQuery(q url.Values, dst any) error {
 		return nil
 	}
 	switch d := dst.(type) {
+	case *ScenarioCurveRequest:
+		// A nested scenario spec has no flat query encoding.
+		return fmt.Errorf("scenario requests take a JSON POST body, not query parameters")
 	case *CurveRequest:
 		if err := decodeParams(&d.Params); err != nil {
 			return err

@@ -102,6 +102,7 @@ type Server struct {
 	cancelBase context.CancelFunc
 
 	analyzers *Cache[*core.Analyzer]
+	scenarios *Cache[*scenarioEntry]
 	responses *Cache[*apiResult]
 	flights   *Coalescer[*apiResult]
 	limiter   *Limiter
@@ -123,6 +124,8 @@ func New(cfg Config) *Server {
 		cancelBase: cancel,
 		analyzers: NewCache[*core.Analyzer](cfg.AnalyzerCache,
 			obs.CtrServeCacheHits, obs.CtrServeCacheMisses, obs.CtrServeCacheEvictions, obs.CtrServeCacheExpired),
+		scenarios: NewCache[*scenarioEntry](cfg.AnalyzerCache,
+			obs.CtrServeCacheHits, obs.CtrServeCacheMisses, obs.CtrServeCacheEvictions, obs.CtrServeCacheExpired),
 		responses: NewCache[*apiResult](cfg.ResponseCache,
 			obs.CtrServeCacheHits, obs.CtrServeCacheMisses, obs.CtrServeCacheEvictions, obs.CtrServeCacheExpired),
 		flights: NewCoalescer[*apiResult](base),
@@ -138,6 +141,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/v1/curve", s.handleCurve)
+	s.mux.HandleFunc("/v1/scenario/curve", s.handleScenarioCurve)
 	s.mux.HandleFunc("/v1/optimize", s.handleOptimize)
 	s.mux.HandleFunc("/v1/propagate", s.handlePropagate)
 	return s

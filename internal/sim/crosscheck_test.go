@@ -43,7 +43,11 @@ func TestSimulationAgreesWithTranslation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		tol := 4*est.YStdErr + 0.02*ana.Y
+		// Re-pinned for the SplitMix64 per-path seed derivation: with
+		// decorrelated streams the deviation at every grid point fits
+		// inside 4 standard errors, so the systematic slack for the
+		// translation's approximations tightens from 2% to 1%.
+		tol := 4*est.YStdErr + 0.01*ana.Y
 		if math.Abs(est.Y-ana.Y) > tol {
 			t.Errorf("phi=%v: simulated Y = %.4f ± %.4f, analytic Y = %.4f (tol %.4f)",
 				phi, est.Y, est.YStdErr, ana.Y, tol)

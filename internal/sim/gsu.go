@@ -297,9 +297,7 @@ func (s *Simulator) runPaths(n int, seed int64, one func(*rand.Rand) (float64, p
 				if i >= int64(n) {
 					return
 				}
-				// splitmix-style stream separation per path index.
-				pathSeed := seed + i*int64(0x9E3779B97F4A7C)
-				rng := rand.New(rand.NewSource(pathSeed))
+				rng := rand.New(rand.NewSource(pathSeed(seed, i)))
 				worth, class, err := one(rng)
 				if err != nil {
 					errs[w] = err
@@ -322,6 +320,19 @@ func (s *Simulator) runPaths(n int, seed int64, one func(*rand.Rand) (float64, p
 		counts[classes[i]]++
 	}
 	return sum, sumSq, counts, nil
+}
+
+// pathSeed derives the per-path RNG seed with the SplitMix64 finalizer:
+// golden-ratio increment per path index, then two xor-shift-multiply
+// mixing rounds. A bare linear stride (the previous scheme, which also
+// truncated the golden-ratio constant to 56 bits) leaves the low seed
+// bits nearly identical across neighbouring paths; the finalizer
+// decorrelates every bit of every stream.
+func pathSeed(seed, i int64) int64 {
+	z := uint64(seed) + uint64(i)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
 }
 
 func finishEstimate(sum, sumSq float64, n int) Estimate {

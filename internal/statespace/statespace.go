@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"guardedop/internal/ctmc"
+	"guardedop/internal/robust"
 	"guardedop/internal/san"
 	"guardedop/internal/sparse"
 )
@@ -29,19 +30,32 @@ type Options struct {
 	MaxVanishingDepth int
 }
 
-func (o Options) withDefaults() Options {
+func (o Options) withDefaults() (Options, error) {
+	if o.MaxStates < 0 {
+		return o, fmt.Errorf("statespace: MaxStates %d is negative: %w", o.MaxStates, robust.ErrInvariant)
+	}
+	if o.MaxVanishingDepth < 0 {
+		return o, fmt.Errorf("statespace: MaxVanishingDepth %d is negative: %w", o.MaxVanishingDepth, robust.ErrInvariant)
+	}
 	if o.MaxStates == 0 {
 		o.MaxStates = 1 << 20
 	}
 	if o.MaxVanishingDepth == 0 {
 		o.MaxVanishingDepth = 128
 	}
-	return o
+	return o, nil
 }
 
 // ErrVanishingLoop is reported when instantaneous activities cycle without
 // reaching a tangible marking.
 var ErrVanishingLoop = errors.New("statespace: loop of instantaneous activities")
+
+// ErrStateSpaceTooLarge is reported when reachability exploration exceeds
+// Options.MaxStates. It wraps robust.ErrInvariant so robust.ErrorClass —
+// and through it the serving layer's HTTP status map — classifies an
+// oversized scenario as a client-model problem rather than an internal
+// failure.
+var ErrStateSpaceTooLarge = fmt.Errorf("statespace: state space too large: %w", robust.ErrInvariant)
 
 // Space is the generated state space: the list of tangible markings, the
 // CTMC over them, and the initial distribution (a distribution rather than
@@ -84,7 +98,10 @@ func (s *Space) StateIndex(mk san.Marking) int {
 // Generate explores the SAN's reachability graph from its initial marking
 // and returns the tangible state space with its CTMC.
 func Generate(model *san.Model, opts Options) (*Space, error) {
-	opts = opts.withDefaults()
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
@@ -144,7 +161,7 @@ func Generate(model *san.Model, opts Options) (*Space, error) {
 			}
 		}
 		if len(sp.States) > opts.MaxStates {
-			return nil, fmt.Errorf("statespace: state space exceeds %d states", opts.MaxStates)
+			return nil, fmt.Errorf("%w: exceeds %d states", ErrStateSpaceTooLarge, opts.MaxStates)
 		}
 	}
 

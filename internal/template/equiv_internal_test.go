@@ -1,0 +1,264 @@
+package template
+
+import (
+	"math"
+	"testing"
+
+	"guardedop/internal/mdcd"
+	"guardedop/internal/san"
+	"guardedop/internal/statespace"
+)
+
+// assertIso checks that tpl is isomorphic to hw under the given
+// hw-place-name → tpl-place-name mapping: a marking-level bijection of
+// states that preserves the initial distribution and every aggregated
+// transition rate.
+func assertIso(t *testing.T, hw, tpl *statespace.Space, placeMap map[string]string) {
+	t.Helper()
+	assertIsoFunc(t, hw, tpl, func(mk, tm san.Marking) {
+		for _, hp := range hw.Model.Places() {
+			name, ok := placeMap[hp.Name()]
+			if !ok {
+				t.Fatalf("no mapping for handwritten place %q", hp.Name())
+			}
+			tp := tpl.Model.PlaceByName(name)
+			if tp == nil {
+				t.Fatalf("template has no place %q (mapped from %q)", name, hp.Name())
+			}
+			tm.Set(tp, mk.Get(hp))
+		}
+	})
+}
+
+// assertIsoFunc is assertIso with an arbitrary marking translation:
+// translate fills the (zeroed) tpl marking tm from the hw marking mk.
+func assertIsoFunc(t *testing.T, hw, tpl *statespace.Space, translate func(mk, tm san.Marking)) {
+	t.Helper()
+	if hw.NumStates() != tpl.NumStates() {
+		t.Fatalf("state counts differ: handwritten %d, template %d", hw.NumStates(), tpl.NumStates())
+	}
+	perm := make([]int, hw.NumStates())
+	seen := make(map[int]bool, hw.NumStates())
+	for i, mk := range hw.States {
+		tm := tpl.Model.InitialMarking()
+		for _, p := range tpl.Model.Places() {
+			tm.Set(p, 0)
+		}
+		translate(mk, tm)
+		j := tpl.StateIndex(tm)
+		if j < 0 {
+			t.Fatalf("handwritten state %d %s has no template counterpart",
+				i, mk.Format(hw.Model))
+		}
+		if seen[j] {
+			t.Fatalf("template state %d matched twice", j)
+		}
+		seen[j] = true
+		perm[i] = j
+	}
+	for i := range hw.Initial {
+		if math.Abs(hw.Initial[i]-tpl.Initial[perm[i]]) > 1e-15 {
+			t.Fatalf("initial probability differs at state %d: %g vs %g",
+				i, hw.Initial[i], tpl.Initial[perm[i]])
+		}
+	}
+	agg := func(ts []statespace.Transition, remap []int) map[[2]int]float64 {
+		out := make(map[[2]int]float64, len(ts))
+		for _, tr := range ts {
+			from, to := tr.From, tr.To
+			if remap != nil {
+				from, to = remap[from], remap[to]
+			}
+			out[[2]int{from, to}] += tr.Rate
+		}
+		return out
+	}
+	hwAgg := agg(hw.Transitions, perm)
+	tplAgg := agg(tpl.Transitions, nil)
+	if len(hwAgg) != len(tplAgg) {
+		t.Fatalf("transition counts differ: handwritten %d, template %d", len(hwAgg), len(tplAgg))
+	}
+	for k, r := range hwAgg {
+		tr, ok := tplAgg[k]
+		if !ok {
+			t.Fatalf("template lacks transition %d->%d (rate %g)", k[0], k[1], r)
+		}
+		if math.Abs(tr-r) > 1e-12*math.Max(1, math.Abs(r)) {
+			t.Fatalf("rate differs on %d->%d: handwritten %g, template %g", k[0], k[1], r, tr)
+		}
+	}
+}
+
+func paperNodes(t *testing.T) (*Spec, []node) {
+	t.Helper()
+	spec := PaperSpec()
+	nodes, err := spec.resolve()
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	return spec, nodes
+}
+
+// TestGdIsomorphicToHandwritten pins the tentpole's core claim: the
+// canonical two-node spec regenerates the paper's RMGd exactly.
+func TestGdIsomorphicToHandwritten(t *testing.T) {
+	spec, nodes := paperNodes(t)
+	gd, err := buildGd(spec, nodes, statespace.Options{})
+	if err != nil {
+		t.Fatalf("buildGd: %v", err)
+	}
+	hw, err := mdcd.BuildRMGd(spec.Params())
+	if err != nil {
+		t.Fatalf("BuildRMGd: %v", err)
+	}
+	assertIso(t, hw.Space, gd.Space, map[string]string{
+		"P1Nctn":    "P1.ctnN",
+		"P1Octn":    "P1.ctnO",
+		"P2ctn":     "P2.ctn",
+		"dirty_bit": "dirty_bit",
+		"detected":  "detected",
+		"failure":   "failure",
+	})
+}
+
+// TestGdPolicyReductions: the alternative guard policies degenerate to
+// the global policy at their trivial parameter points, state for state.
+func TestGdPolicyReductions(t *testing.T) {
+	base, _ := paperNodes(t)
+	global, err := buildGd(base, mustResolve(t, base), statespace.Options{})
+	if err != nil {
+		t.Fatalf("buildGd(global): %v", err)
+	}
+	cases := []struct {
+		name  string
+		guard GuardSpec
+	}{
+		{"per-node single upgrade", GuardSpec{Policy: PolicyPerNode}},
+		{"abort-retry zero budget", GuardSpec{Policy: PolicyAbortRetry, Retries: 0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := PaperSpec()
+			spec.Guard = tc.guard
+			gd, err := buildGd(spec, mustResolve(t, spec), statespace.Options{})
+			if err != nil {
+				t.Fatalf("buildGd: %v", err)
+			}
+			// The variant's policy places are a function of the shared
+			// places at the degenerate point: retired tracks detected
+			// (except in collapsed failure states, where fail resets
+			// it), and the zero retry budget stays zero.
+			assertIsoFunc(t, global.Space, gd.Space, func(mk, tm san.Marking) {
+				for _, hp := range global.Space.Model.Places() {
+					tm.Set(gd.Space.Model.PlaceByName(hp.Name()), mk.Get(hp))
+				}
+				if tc.guard.Policy == PolicyPerNode {
+					retired := gd.Space.Model.PlaceByName("retired.P1")
+					if retired == nil {
+						t.Fatal("per-node variant lacks retired.P1")
+					}
+					det := global.Space.Model.PlaceByName("detected")
+					fl := global.Space.Model.PlaceByName("failure")
+					if mk.Get(fl) == 0 {
+						tm.Set(retired, mk.Get(det))
+					}
+				}
+			})
+		})
+	}
+}
+
+func mustResolve(t *testing.T, s *Spec) []node {
+	t.Helper()
+	nodes, err := s.resolve()
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	return nodes
+}
+
+// TestNdIsomorphicToHandwritten covers both normal-mode variants.
+func TestNdIsomorphicToHandwritten(t *testing.T) {
+	spec, nodes := paperNodes(t)
+	p := spec.Params()
+	m := map[string]string{"P1Nctn": "P1.ctn", "P2ctn": "P2.ctn", "failure": "failure"}
+	for _, tc := range []struct {
+		name string
+		mu   float64
+		new  bool
+	}{
+		{"new", p.MuNew, true},
+		{"old", p.MuOld, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			nd, err := buildNd(spec, nodes, tc.new, statespace.Options{})
+			if err != nil {
+				t.Fatalf("buildNd: %v", err)
+			}
+			hw, err := mdcd.BuildRMNd(p, tc.mu)
+			if err != nil {
+				t.Fatalf("BuildRMNd: %v", err)
+			}
+			assertIso(t, hw.Space, nd.Space, m)
+		})
+	}
+}
+
+// TestGpIsomorphicToHandwritten: the joint overhead model regenerates the
+// paper's RMGp (the plain node's checkpoint-in-progress place is owned by
+// the sender there, by the recipient here; the dynamics coincide).
+func TestGpIsomorphicToHandwritten(t *testing.T) {
+	spec, nodes := paperNodes(t)
+	gp, err := buildGpJoint(spec, nodes)
+	if err != nil {
+		t.Fatalf("buildGpJoint: %v", err)
+	}
+	hw, err := mdcd.BuildRMGp(spec.Params())
+	if err != nil {
+		t.Fatalf("BuildRMGp: %v", err)
+	}
+	assertIso(t, hw.Space, gp.Space, map[string]string{
+		"P1nReady": "P1.sready",
+		"P1nExt":   "P1.sext",
+		"P1nInt":   "P2.ckpt",
+		"P2Ready":  "P2.ready",
+		"P2Ext":    "P2.ext",
+		"P1oCheck": "P1.ocheck",
+		"P1oDB":    "P1.odb",
+		"P2DB":     "P2.db",
+	})
+
+	// And the solved overhead measures agree with the handwritten ones.
+	hwm, err := hw.Measures()
+	if err != nil {
+		t.Fatalf("Measures: %v", err)
+	}
+	for i, want := range []float64{hwm.Rho1, hwm.Rho2} {
+		if got := gp.Rhos[i]; math.Abs(got-want) > 1e-9*want {
+			t.Errorf("rho[%d] = %.15g, handwritten %.15g", i, got, want)
+		}
+	}
+}
+
+// TestGpMeanFieldClose sanity-checks the mean-field fallback against the
+// exact joint solution on the canonical scenario: an approximation, but
+// it must land in the right neighbourhood (the overheads are small, so a
+// loose relative tolerance on 1-ρ is the meaningful comparison).
+func TestGpMeanFieldClose(t *testing.T) {
+	spec, nodes := paperNodes(t)
+	joint, err := buildGpJoint(spec, nodes)
+	if err != nil {
+		t.Fatalf("buildGpJoint: %v", err)
+	}
+	mf, err := gpMeanField(spec, nodes)
+	if err != nil {
+		t.Fatalf("gpMeanField: %v", err)
+	}
+	for i := range joint.Rhos {
+		ohJoint, ohMF := 1-joint.Rhos[i], 1-mf[i]
+		if math.Abs(ohJoint-ohMF) > 0.25*ohJoint {
+			t.Errorf("node %d overhead: joint %.6g, mean-field %.6g (>25%% apart)",
+				i, ohJoint, ohMF)
+		}
+	}
+}

@@ -1,0 +1,482 @@
+package template
+
+import (
+	"fmt"
+
+	"guardedop/internal/compose"
+	"guardedop/internal/mdcd"
+	"guardedop/internal/san"
+	"guardedop/internal/statespace"
+)
+
+// Shared dependability place names. The per-node contamination places are
+// named "<node>.ctn" (plain), "<node>.ctnN"/"<node>.ctnO" (upgraded new
+// and old replica), and the per-node policy places "retired.<node>".
+const (
+	plDetected = "detected"
+	plFailure  = "failure"
+	plDirty    = "dirty_bit"
+	plStage    = "stage"
+	plRetry    = "retry"
+)
+
+// gdModel is the generated scenario dependability model before it is
+// wrapped into an mdcd.RMGd: the composed SAN plus the place handles the
+// activity closures share.
+type gdModel struct {
+	spec  *Spec
+	nodes []node
+
+	detected *san.Place
+	failure  *san.Place
+	dirty    *san.Place
+	stage    *san.Place   // staged policy only
+	retry    *san.Place   // abort-retry policy only
+	retired  []*san.Place // per-node policy: indexed by uidx
+
+	ctnN []*san.Place // per upgraded node (by uidx): new-replica contamination
+	ctnO []*san.Place // per upgraded node (by uidx): old-replica contamination
+	ctn  []*san.Place // per node (by idx): plain contamination; nil for upgraded
+}
+
+// buildGd generates the scenario's guarded-operation dependability model
+// and wraps it as an mdcd.RMGd. opts bounds the state-space exploration.
+func buildGd(spec *Spec, nodes []node, opts statespace.Options) (*mdcd.RMGd, error) {
+	g := &gdModel{spec: spec, nodes: nodes}
+
+	shared := []compose.SharedPlaceSpec{
+		{Name: plDetected},
+		{Name: plFailure},
+		{Name: plDirty},
+	}
+	switch spec.Policy() {
+	case PolicyPerNode:
+		for _, n := range nodes {
+			if n.upgraded {
+				shared = append(shared, compose.SharedPlaceSpec{Name: "retired." + n.name})
+			}
+		}
+	case PolicyStaged:
+		shared = append(shared, compose.SharedPlaceSpec{Name: plStage})
+	case PolicyAbortRetry:
+		shared = append(shared, compose.SharedPlaceSpec{Name: plRetry, Initial: spec.Guard.Retries})
+	}
+	for _, n := range nodes {
+		if n.upgraded {
+			shared = append(shared,
+				compose.SharedPlaceSpec{Name: n.name + ".ctnN"},
+				compose.SharedPlaceSpec{Name: n.name + ".ctnO"})
+		} else {
+			shared = append(shared, compose.SharedPlaceSpec{Name: n.name + ".ctn"})
+		}
+	}
+
+	parts := make(map[string]compose.Template, len(nodes))
+	for _, n := range nodes {
+		n := n
+		parts[n.name] = func(m *san.Model, prefix string, sh compose.Shared) error {
+			if g.detected == nil {
+				if err := g.bindPlaces(sh); err != nil {
+					return err
+				}
+			}
+			if n.upgraded {
+				g.addUpgradedNode(m, prefix, n)
+			} else {
+				g.addPlainNode(m, prefix, n)
+			}
+			return nil
+		}
+	}
+
+	m, _, err := compose.Join("Gd:"+spec.Name, shared, parts)
+	if err != nil {
+		return nil, fmt.Errorf("template: composing Gd: %w", err)
+	}
+	sp, err := statespace.Generate(m, opts)
+	if err != nil {
+		return nil, fmt.Errorf("template: generating Gd space: %w", err)
+	}
+	return mdcd.NewRMGdFromSpace(sp, g.detected, g.failure)
+}
+
+func (g *gdModel) upgradedCount() int {
+	k := 0
+	for _, n := range g.nodes {
+		if n.upgraded {
+			k++
+		}
+	}
+	return k
+}
+
+// bindPlaces resolves the shared place handles once, on the first
+// template instantiation.
+func (g *gdModel) bindPlaces(sh compose.Shared) error {
+	g.detected = sh[plDetected]
+	g.failure = sh[plFailure]
+	g.dirty = sh[plDirty]
+	g.stage = sh[plStage]
+	g.retry = sh[plRetry]
+	g.ctnN = make([]*san.Place, g.upgradedCount())
+	g.ctnO = make([]*san.Place, g.upgradedCount())
+	g.retired = make([]*san.Place, g.upgradedCount())
+	g.ctn = make([]*san.Place, len(g.nodes))
+	for _, n := range g.nodes {
+		if n.upgraded {
+			g.ctnN[n.uidx] = sh[n.name+".ctnN"]
+			g.ctnO[n.uidx] = sh[n.name+".ctnO"]
+			g.retired[n.uidx] = sh["retired."+n.name]
+		} else {
+			g.ctn[n.idx] = sh[n.name+".ctn"]
+		}
+	}
+	for i, n := range g.nodes {
+		if n.upgraded && (g.ctnN[n.uidx] == nil || g.ctnO[n.uidx] == nil) {
+			return fmt.Errorf("template: missing shared places for node %q", n.name)
+		}
+		if !n.upgraded && g.ctn[i] == nil {
+			return fmt.Errorf("template: missing shared place for node %q", n.name)
+		}
+	}
+	return nil
+}
+
+// --- mode predicates (policy-dependent) --------------------------------
+
+func (g *gdModel) alive(mk san.Marking) bool { return mk.Get(g.failure) == 0 }
+
+// newInService reports whether u's upgraded replica is running.
+func (g *gdModel) newInService(u node, mk san.Marking) bool {
+	switch g.spec.Policy() {
+	case PolicyPerNode:
+		return mk.Get(g.retired[u.uidx]) == 0
+	case PolicyStaged:
+		return mk.Get(g.detected) == 0 && u.uidx <= mk.Get(g.stage)
+	default: // global, abort-retry
+		return mk.Get(g.detected) == 0
+	}
+}
+
+// newGuarded reports whether u's upgraded replica is under guard (its
+// external messages acceptance-tested). Under the staged policy a
+// committed upgrade is in service but trusted.
+func (g *gdModel) newGuarded(u node, mk san.Marking) bool {
+	if g.spec.Policy() == PolicyStaged {
+		return mk.Get(g.detected) == 0 && u.uidx == mk.Get(g.stage)
+	}
+	return g.newInService(u, mk)
+}
+
+// oldActive reports whether u's proven replica is actively sending
+// messages (rather than shadowing).
+func (g *gdModel) oldActive(u node, mk san.Marking) bool {
+	switch g.spec.Policy() {
+	case PolicyPerNode:
+		return mk.Get(g.retired[u.uidx]) == 1
+	case PolicyStaged:
+		return mk.Get(g.detected) == 1 || u.uidx > mk.Get(g.stage)
+	default:
+		return mk.Get(g.detected) == 1
+	}
+}
+
+// plainGuarded reports whether plain nodes' potentially-contaminated
+// external messages are acceptance-tested.
+func (g *gdModel) plainGuarded(mk san.Marking) bool {
+	if mk.Get(g.detected) != 0 {
+		return false
+	}
+	if g.spec.Policy() == PolicyStaged {
+		return mk.Get(g.stage) < g.upgradedCount()
+	}
+	return true
+}
+
+// --- recovery and failure actions --------------------------------------
+
+// rollback restores every node to a consistent clean state: the MDCD
+// rollback/roll-forward machinery discards message-borne contamination
+// along with the confidence view, exactly as the handwritten model's
+// recover action (see BuildRMGdWithOptions for the paper's argument).
+func (g *gdModel) rollback(mk san.Marking) {
+	for _, pl := range g.ctnN {
+		mk.Set(pl, 0)
+	}
+	for _, pl := range g.ctnO {
+		mk.Set(pl, 0)
+	}
+	for _, pl := range g.ctn {
+		if pl != nil {
+			mk.Set(pl, 0)
+		}
+	}
+	mk.Set(g.dirty, 0)
+}
+
+// retireAll ends the G-OP mode outright. The stage counter is reset so
+// post-detection states collapse regardless of how far the rollout got.
+func (g *gdModel) retireAll(mk san.Marking) {
+	mk.Set(g.detected, 1)
+	for _, pl := range g.retired {
+		if pl != nil {
+			mk.Set(pl, 1)
+		}
+	}
+	if g.stage != nil {
+		mk.Set(g.stage, 0)
+	}
+	g.rollback(mk)
+}
+
+// recoverSuspect handles a detection attributed to upgraded node u (its
+// own erroneous external message was caught by the AT).
+func (g *gdModel) recoverSuspect(u node, mk san.Marking) {
+	switch g.spec.Policy() {
+	case PolicyPerNode:
+		mk.Set(g.retired[u.uidx], 1)
+		g.rollback(mk)
+		for _, pl := range g.retired {
+			if mk.Get(pl) == 0 {
+				return // suspects remain: G-OP continues for them
+			}
+		}
+		mk.Set(g.detected, 1)
+	case PolicyAbortRetry:
+		if r := mk.Get(g.retry); r > 0 {
+			mk.Set(g.retry, r-1)
+			g.rollback(mk) // abort the bad state, retry the upgrade
+			return
+		}
+		g.retireAll(mk)
+	default: // global, staged (a detection aborts the whole rollout)
+		g.retireAll(mk)
+	}
+}
+
+// recoverDirty handles a detection attributed to the confidence chain (a
+// contaminated plain node's external message was caught): the erroneous
+// state cannot be localised to one suspect.
+func (g *gdModel) recoverDirty(mk san.Marking) {
+	switch g.spec.Policy() {
+	case PolicyAbortRetry:
+		if r := mk.Get(g.retry); r > 0 {
+			mk.Set(g.retry, r-1)
+			g.rollback(mk)
+			return
+		}
+		g.retireAll(mk)
+	default:
+		g.retireAll(mk)
+	}
+}
+
+// fail enters the absorbing failure state, zeroing the bookkeeping places
+// so failure states collapse to (at most) one per detected value.
+func (g *gdModel) fail(mk san.Marking) {
+	mk.Set(g.failure, 1)
+	g.rollback(mk)
+	for _, pl := range g.retired {
+		if pl != nil {
+			mk.Set(pl, 0)
+		}
+	}
+	if g.stage != nil {
+		mk.Set(g.stage, 0)
+	}
+	if g.retry != nil {
+		mk.Set(g.retry, 0)
+	}
+}
+
+// contaminate spreads sender-borne contamination to recipient r: a plain
+// node's single state, or an upgraded node's shadow plus — while it is in
+// service — its new replica.
+func (g *gdModel) contaminate(r node, mk san.Marking) {
+	if !r.upgraded {
+		mk.Set(g.ctn[r.idx], 1)
+		return
+	}
+	mk.Set(g.ctnO[r.uidx], 1)
+	if g.newInService(r, mk) {
+		mk.Set(g.ctnN[r.uidx], 1)
+	}
+}
+
+// peers returns every node other than n, the recipients of its internal
+// messages (uniform routing, probability (1-pext)/(N-1) each).
+func (g *gdModel) peers(n node) []node {
+	out := make([]node, 0, len(g.nodes)-1)
+	for _, o := range g.nodes {
+		if o.idx != n.idx {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// --- node activity templates -------------------------------------------
+
+// addUpgradedNode wires the fault-manifestation and message-sending
+// activities of upgraded node u: its new replica (guarded while under
+// AT, trusted once committed by the staged policy) and its proven
+// replica (shadow while the new one serves, active afterwards).
+func (g *gdModel) addUpgradedNode(m *san.Model, prefix string, u node) {
+	ctnN, ctnO := g.ctnN[u.uidx], g.ctnO[u.uidx]
+	cov := g.spec.Coverage
+	staged := g.spec.Policy() == PolicyStaged
+
+	// New-replica (upgraded software) faults manifest while in service.
+	fmN := m.AddTimedActivity(prefix+"fmN", san.ConstRate(u.muNew)).
+		AddInputGate("enabled", func(mk san.Marking) bool {
+			return g.alive(mk) && g.newInService(u, mk) && mk.Get(ctnN) == 0
+		}, nil)
+	fmN.AddCase(san.ConstProb(1)).AddOutputFunc(func(mk san.Marking) { mk.Set(ctnN, 1) })
+
+	// Old-replica faults manifest throughout [0, φ] (shadow or active).
+	fmO := m.AddTimedActivity(prefix+"fmO", san.ConstRate(u.muOld)).
+		AddInputGate("enabled", func(mk san.Marking) bool {
+			return g.alive(mk) && mk.Get(ctnO) == 0
+		}, nil)
+	fmO.AddCase(san.ConstProb(1)).AddOutputFunc(func(mk san.Marking) { mk.Set(ctnO, 1) })
+
+	// New-replica message sending. While guarded, every external message
+	// undergoes AT (the node is always considered potentially
+	// contaminated); a committed upgrade (staged policy) sends unchecked.
+	msgN := m.AddTimedActivity(prefix+"msgN", san.ConstRate(u.lambda)).
+		AddInputGate("inService", func(mk san.Marking) bool {
+			return g.alive(mk) && g.newInService(u, mk)
+		}, nil)
+	msgN.AddCase(func(mk san.Marking) float64 { // erroneous external, detected
+		if mk.Get(ctnN) == 1 && g.newGuarded(u, mk) {
+			return u.pext * cov
+		}
+		return 0
+	}).AddOutputFunc(func(mk san.Marking) { g.recoverSuspect(u, mk) })
+	msgN.AddCase(func(mk san.Marking) float64 { // erroneous external, escaped
+		if mk.Get(ctnN) != 1 {
+			return 0
+		}
+		if g.newGuarded(u, mk) {
+			return u.pext * (1 - cov)
+		}
+		return u.pext // trusted: no AT between the error and the consumer
+	}).AddOutputFunc(g.fail)
+	msgN.AddCase(func(mk san.Marking) float64 { // clean external
+		if mk.Get(ctnN) == 0 {
+			return u.pext
+		}
+		return 0
+	}).AddOutputFunc(func(mk san.Marking) {
+		if !g.newGuarded(u, mk) {
+			return
+		}
+		// Passing the AT validates the confidence chain downstream.
+		mk.Set(g.dirty, 0)
+		if staged {
+			// The committed suspect is trusted from here on; the next
+			// pending upgrade (if any) comes under guard.
+			mk.Set(g.stage, mk.Get(g.stage)+1)
+		}
+	})
+	for _, r := range g.peers(u) {
+		r := r
+		msgN.AddCase(func(mk san.Marking) float64 { // internal message to r
+			return (1 - u.pext) / float64(len(g.nodes)-1)
+		}).AddOutputFunc(func(mk san.Marking) {
+			if g.newGuarded(u, mk) {
+				// A suspect's internal message marks its recipients
+				// potentially contaminated.
+				mk.Set(g.dirty, 1)
+			}
+			if mk.Get(ctnN) == 1 {
+				g.contaminate(r, mk)
+			}
+		})
+	}
+
+	// Old-replica message sending: suppressed while shadowing, active in
+	// the recovered (or not-yet-upgraded, staged policy) configuration.
+	// No safeguards apply to it.
+	msgO := m.AddTimedActivity(prefix+"msgO", san.ConstRate(u.lambda)).
+		AddInputGate("active", func(mk san.Marking) bool {
+			return g.alive(mk) && g.oldActive(u, mk)
+		}, nil)
+	msgO.AddCase(func(mk san.Marking) float64 { // erroneous external
+		if mk.Get(ctnO) == 1 {
+			return u.pext
+		}
+		return 0
+	}).AddOutputFunc(g.fail)
+	msgO.AddCase(func(mk san.Marking) float64 { // clean external
+		if mk.Get(ctnO) == 0 {
+			return u.pext
+		}
+		return 0
+	})
+	for _, r := range g.peers(u) {
+		r := r
+		msgO.AddCase(func(mk san.Marking) float64 {
+			return (1 - u.pext) / float64(len(g.nodes)-1)
+		}).AddOutputFunc(func(mk san.Marking) {
+			if mk.Get(ctnO) == 1 {
+				g.contaminate(r, mk)
+			}
+		})
+	}
+}
+
+// addPlainNode wires the activities of plain node n: its external
+// messages are acceptance-tested only while the confidence view (the
+// shared dirty bit) marks it potentially contaminated and the G-OP mode
+// is still guarding.
+func (g *gdModel) addPlainNode(m *san.Model, prefix string, n node) {
+	ctn := g.ctn[n.idx]
+	cov := g.spec.Coverage
+
+	fm := m.AddTimedActivity(prefix+"fm", san.ConstRate(n.muOld)).
+		AddInputGate("enabled", func(mk san.Marking) bool {
+			return g.alive(mk) && mk.Get(ctn) == 0
+		}, nil)
+	fm.AddCase(san.ConstProb(1)).AddOutputFunc(func(mk san.Marking) { mk.Set(ctn, 1) })
+
+	msg := m.AddTimedActivity(prefix+"msg", san.ConstRate(n.lambda)).
+		AddInputGate("alive", g.alive, nil)
+	msg.AddCase(func(mk san.Marking) float64 { // erroneous external, detected
+		if g.plainGuarded(mk) && mk.Get(ctn) == 1 && mk.Get(g.dirty) == 1 {
+			return n.pext * cov
+		}
+		return 0
+	}).AddOutputFunc(g.recoverDirty)
+	msg.AddCase(func(mk san.Marking) float64 { // erroneous external, failure
+		if mk.Get(ctn) != 1 {
+			return 0
+		}
+		if g.plainGuarded(mk) && mk.Get(g.dirty) == 1 {
+			return n.pext * (1 - cov) // AT miss
+		}
+		return n.pext // considered clean, or no AT outside the guard
+	}).AddOutputFunc(g.fail)
+	msg.AddCase(func(mk san.Marking) float64 { // clean external
+		if mk.Get(ctn) == 0 {
+			return n.pext
+		}
+		return 0
+	}).AddOutputFunc(func(mk san.Marking) {
+		// A clean external message passes whatever AT was required and
+		// resets the confidence view (gate P2ok_ext of Figure 6).
+		if g.plainGuarded(mk) {
+			mk.Set(g.dirty, 0)
+		}
+	})
+	for _, r := range g.peers(n) {
+		r := r
+		msg.AddCase(func(mk san.Marking) float64 {
+			return (1 - n.pext) / float64(len(g.nodes)-1)
+		}).AddOutputFunc(func(mk san.Marking) {
+			if mk.Get(ctn) == 1 {
+				g.contaminate(r, mk)
+			}
+		})
+	}
+}

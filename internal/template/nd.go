@@ -1,0 +1,105 @@
+package template
+
+import (
+	"fmt"
+
+	"guardedop/internal/compose"
+	"guardedop/internal/mdcd"
+	"guardedop/internal/san"
+	"guardedop/internal/statespace"
+)
+
+// buildNd generates the scenario's normal-mode dependability model: every
+// node runs exactly one software version with no safeguards. With
+// newVersions true the upgraded nodes run their new version (the model
+// behind P(S1), no failure during [0, θ]); with false every node runs
+// proven software (the post-recovery model behind p_θ).
+func buildNd(spec *Spec, nodes []node, newVersions bool, opts statespace.Options) (*mdcd.RMNd, error) {
+	var failure *san.Place
+	ctn := make([]*san.Place, len(nodes))
+
+	shared := make([]compose.SharedPlaceSpec, 0, len(nodes)+1)
+	shared = append(shared, compose.SharedPlaceSpec{Name: plFailure})
+	for _, n := range nodes {
+		shared = append(shared, compose.SharedPlaceSpec{Name: n.name + ".ctn"})
+	}
+
+	bind := func(sh compose.Shared) {
+		if failure != nil {
+			return
+		}
+		failure = sh[plFailure]
+		for _, n := range nodes {
+			ctn[n.idx] = sh[n.name+".ctn"]
+		}
+	}
+	alive := func(mk san.Marking) bool { return mk.Get(failure) == 0 }
+	fail := func(mk san.Marking) {
+		mk.Set(failure, 1)
+		for _, pl := range ctn {
+			mk.Set(pl, 0)
+		}
+	}
+
+	parts := make(map[string]compose.Template, len(nodes))
+	for _, n := range nodes {
+		n := n
+		mu := n.muOld
+		if newVersions && n.upgraded {
+			mu = n.muNew
+		}
+		parts[n.name] = func(m *san.Model, prefix string, sh compose.Shared) error {
+			bind(sh)
+			self := ctn[n.idx]
+
+			fm := m.AddTimedActivity(prefix+"fm", san.ConstRate(mu)).
+				AddInputGate("enabled", func(mk san.Marking) bool {
+					return alive(mk) && mk.Get(self) == 0
+				}, nil)
+			fm.AddCase(san.ConstProb(1)).AddOutputFunc(func(mk san.Marking) { mk.Set(self, 1) })
+
+			msg := m.AddTimedActivity(prefix+"msg", san.ConstRate(n.lambda)).
+				AddInputGate("alive", alive, nil)
+			msg.AddCase(func(mk san.Marking) float64 { // erroneous external
+				if mk.Get(self) == 1 {
+					return n.pext
+				}
+				return 0
+			}).AddOutputFunc(fail)
+			msg.AddCase(func(mk san.Marking) float64 { // clean external
+				if mk.Get(self) == 0 {
+					return n.pext
+				}
+				return 0
+			})
+			for _, r := range nodes {
+				if r.idx == n.idx {
+					continue
+				}
+				dst := ctn[r.idx]
+				msg.AddCase(func(mk san.Marking) float64 { // internal to r
+					return (1 - n.pext) / float64(len(nodes)-1)
+				}).AddOutputFunc(func(mk san.Marking) {
+					if mk.Get(self) == 1 {
+						mk.Set(dst, 1)
+					}
+				})
+			}
+			return nil
+		}
+	}
+
+	variant := "old"
+	if newVersions {
+		variant = "new"
+	}
+	m, _, err := compose.Join("Nd("+variant+"):"+spec.Name, shared, parts)
+	if err != nil {
+		return nil, fmt.Errorf("template: composing Nd(%s): %w", variant, err)
+	}
+	sp, err := statespace.Generate(m, opts)
+	if err != nil {
+		return nil, fmt.Errorf("template: generating Nd(%s) space: %w", variant, err)
+	}
+	return mdcd.NewRMNdFromSpace(sp, failure)
+}
