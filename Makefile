@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race race-parallel lint fmt-check selfcheck modelcheck serve-smoke templates bench bench-curve bench-parametric repro coverage clean
+.PHONY: all build vet test test-short race race-parallel lint fmt-check selfcheck modelcheck serve-smoke templates bench bench-curve bench-parametric bench-json bench-compare repro coverage clean
 
 all: build lint test
 
@@ -83,6 +83,26 @@ bench-curve:
 # is not asserted here — this surfaces the ns/op pair for the CI artifact.
 bench-parametric:
 	$(GO) test ./internal/core -run '^$$' -bench 'BenchmarkEvaluate(Parametric|Numeric)$$' -benchmem
+
+# Continuous performance observatory (docs/BENCHMARKING.md): run the
+# pinned gsubench suite and write the next BENCH_<seq>.json under
+# bench/. Exit code 2 means a pinned counter rule failed in this run.
+bench-json:
+	$(GO) run ./cmd/gsubench -out bench
+
+# Diff the two newest BENCH reports in bench/ — deterministic-counter
+# regressions fail hard, wall clock only beyond the tolerance band.
+# Run `make bench-json` twice around a change to produce the pair, or
+# point OLD/NEW at explicit report files.
+bench-compare:
+	@if [ -n "$(OLD)" ] && [ -n "$(NEW)" ]; then \
+		$(GO) run ./cmd/gsubench -compare "$(OLD)" "$(NEW)"; \
+	else \
+		set -- $$(ls bench/BENCH_*.json 2>/dev/null | sort | tail -2); \
+		if [ $$# -lt 2 ]; then \
+			echo "bench-compare: need two BENCH reports in bench/ (run make bench-json twice, or set OLD= NEW=)"; exit 1; fi; \
+		$(GO) run ./cmd/gsubench -compare "$$1" "$$2"; \
+	fi
 
 # Regenerate every table/figure report to stdout.
 repro:

@@ -1,0 +1,136 @@
+// Command gsubench runs the repo's pinned performance suite and manages
+// its BENCH_<seq>.json trajectory — the continuous performance
+// observatory (docs/BENCHMARKING.md).
+//
+// Usage:
+//
+//	gsubench [-out DIR] [-runs 3] [-bench SUBSTR] [-stdout]
+//	gsubench -list
+//	gsubench -compare old.json new.json [-wall-tolerance 0.5]
+//
+// The default mode executes the suite and writes the next BENCH_<seq>.json
+// into -out (default "bench"). Each entry pairs wall-clock statistics
+// with the run's deterministic work counters; the runner verifies the
+// counters repeat identically across repetitions and that every pinned
+// rule holds, so the report is trustworthy input for -compare.
+//
+// -compare diffs two reports: deterministic-counter regressions and
+// benchmarks missing from the new report fail hard; wall-clock medians
+// fail only beyond -wall-tolerance.
+//
+// Exit codes: 0 clean; 1 usage or execution error; 2 regression (a
+// pinned rule violated at run time, or -compare found a gating diff).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"guardedop/internal/benchreg"
+)
+
+func main() {
+	os.Exit(run(context.Background(), os.Args[1:]))
+}
+
+func run(ctx context.Context, args []string) int {
+	fs := flag.NewFlagSet("gsubench", flag.ContinueOnError)
+	var (
+		outDir  = fs.String("out", "bench", "directory for BENCH_<seq>.json reports")
+		runs    = fs.Int("runs", 3, "repetitions per benchmark (wall stats; counters must repeat exactly)")
+		bench   = fs.String("bench", "", "run only benchmarks whose name contains this substring")
+		stdout  = fs.Bool("stdout", false, "write the report to stdout instead of -out")
+		list    = fs.Bool("list", false, "list the suite's benchmark names and exit")
+		compare = fs.Bool("compare", false, "compare two report files: gsubench -compare old.json new.json")
+		wallTol = fs.Float64("wall-tolerance", benchreg.DefaultWallTolerance, "relative wall-clock band treated as noise by -compare")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	if *list {
+		for _, b := range benchreg.Suite() {
+			fmt.Println(b.Name)
+		}
+		return 0
+	}
+
+	if *compare {
+		if fs.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "gsubench: -compare needs exactly two report files (old new)")
+			return 1
+		}
+		return runCompare(fs.Arg(0), fs.Arg(1), *wallTol)
+	}
+
+	opts := benchreg.Options{
+		Runs:     *runs,
+		Progress: func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+	}
+	if *bench != "" {
+		opts.Match = func(name string) bool { return strings.Contains(name, *bench) }
+	}
+	rep, violations, err := benchreg.Run(ctx, benchreg.Suite(), opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gsubench:", err)
+		return 1
+	}
+	if len(rep.Results) == 0 {
+		fmt.Fprintf(os.Stderr, "gsubench: no benchmark matches -bench %q\n", *bench)
+		return 1
+	}
+
+	if *stdout {
+		if err := benchreg.Write(os.Stdout, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "gsubench:", err)
+			return 1
+		}
+	} else {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "gsubench:", err)
+			return 1
+		}
+		rep.Seq = benchreg.NextSeq(*outDir)
+		path := benchreg.SeqPath(*outDir, rep.Seq)
+		if err := benchreg.WriteFile(path, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "gsubench:", err)
+			return 1
+		}
+		fmt.Println(path)
+	}
+
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "gsubench: RULE VIOLATION:", v)
+		}
+		return 2
+	}
+	return 0
+}
+
+// runCompare diffs two report files and prints every finding.
+func runCompare(oldPath, newPath string, wallTol float64) int {
+	old, err := benchreg.LoadFile(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gsubench:", err)
+		return 1
+	}
+	new, err := benchreg.LoadFile(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gsubench:", err)
+		return 1
+	}
+	diffs := benchreg.Compare(old, new, wallTol)
+	for _, d := range diffs {
+		fmt.Println(d)
+	}
+	if benchreg.Failed(diffs) {
+		fmt.Fprintln(os.Stderr, "gsubench: regression detected")
+		return 2
+	}
+	fmt.Printf("gsubench: no regressions (%d benchmarks, %d notes)\n", len(old.Results), len(diffs))
+	return 0
+}

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"guardedop/internal/benchreg"
+)
+
+// capture runs fn with os.Stdout redirected into a pipe and returns
+// what it printed alongside fn's exit code.
+func capture(t *testing.T, fn func() int) (string, int) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 0, 1<<16)
+		tmp := make([]byte, 4096)
+		for {
+			n, err := r.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(buf)
+	}()
+	code := fn()
+	w.Close()
+	return <-done, code
+}
+
+func TestRunList(t *testing.T) {
+	out, code := capture(t, func() int { return run(context.Background(), []string{"-list"}) })
+	if code != 0 {
+		t.Fatalf("-list exit %d", code)
+	}
+	for _, want := range []string{"grid50.numeric", "serve.coalesced", "template.n8"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunBadUsage(t *testing.T) {
+	if _, code := capture(t, func() int { return run(context.Background(), []string{"-no-such-flag"}) }); code != 1 {
+		t.Errorf("unknown flag: exit %d, want 1", code)
+	}
+	if _, code := capture(t, func() int {
+		return run(context.Background(), []string{"-compare", "only-one.json"})
+	}); code != 1 {
+		t.Errorf("-compare with one arg: exit %d, want 1", code)
+	}
+	if _, code := capture(t, func() int {
+		return run(context.Background(), []string{"-bench", "no.such.benchmark"})
+	}); code != 1 {
+		t.Errorf("empty -bench match: exit %d, want 1", code)
+	}
+}
+
+func TestRunFilteredSuiteToStdoutAndFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite execution skipped in -short mode")
+	}
+	out, code := capture(t, func() int {
+		return run(context.Background(), []string{"-bench", "template.n3", "-runs", "1", "-stdout"})
+	})
+	if code != 0 {
+		t.Fatalf("-stdout run exit %d", code)
+	}
+	rep, err := benchreg.Load(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("stdout is not a valid report: %v", err)
+	}
+	if len(rep.Results) != 1 || rep.Results[0].Name != "template.n3" {
+		t.Fatalf("filtered report = %+v", rep.Results)
+	}
+	if rep.Results[0].Counters["template.states"] != 276 {
+		t.Fatalf("template.n3 counters = %v", rep.Results[0].Counters)
+	}
+
+	dir := t.TempDir()
+	outDir := filepath.Join(dir, "bench")
+	out, code = capture(t, func() int {
+		return run(context.Background(), []string{"-bench", "template.n3", "-runs", "1", "-out", outDir})
+	})
+	if code != 0 {
+		t.Fatalf("file run exit %d", code)
+	}
+	want := benchreg.SeqPath(outDir, 1)
+	if strings.TrimSpace(out) != want {
+		t.Fatalf("printed path %q, want %q", strings.TrimSpace(out), want)
+	}
+	if _, err := benchreg.LoadFile(want); err != nil {
+		t.Fatalf("written report unreadable: %v", err)
+	}
+}
+
+// TestCompareExitCodes is the acceptance check for the regression gate:
+// identical reports exit 0, an injected counter regression exits 2.
+func TestCompareExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	base := benchreg.NewReport(1)
+	base.Results = []benchreg.Result{{
+		Name:     "grid50.numeric",
+		Runs:     1,
+		Wall:     benchreg.Wall{MinNanos: 1000, MedianNanos: 1000, MaxNanos: 1000},
+		Counters: map[string]int64{"ctmc.solve_passes": 98},
+	}}
+	oldPath := filepath.Join(dir, "old.json")
+	samePath := filepath.Join(dir, "same.json")
+	regressedPath := filepath.Join(dir, "regressed.json")
+	if err := benchreg.WriteFile(oldPath, base); err != nil {
+		t.Fatal(err)
+	}
+	if err := benchreg.WriteFile(samePath, base); err != nil {
+		t.Fatal(err)
+	}
+	regressed := benchreg.NewReport(2)
+	regressed.Results = []benchreg.Result{{
+		Name:     "grid50.numeric",
+		Runs:     1,
+		Wall:     benchreg.Wall{MinNanos: 1000, MedianNanos: 1000, MaxNanos: 1000},
+		Counters: map[string]int64{"ctmc.solve_passes": 150},
+	}}
+	if err := benchreg.WriteFile(regressedPath, regressed); err != nil {
+		t.Fatal(err)
+	}
+
+	out, code := capture(t, func() int {
+		return run(context.Background(), []string{"-compare", oldPath, samePath})
+	})
+	if code != 0 {
+		t.Fatalf("identical compare exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "no regressions") {
+		t.Errorf("clean compare output missing summary:\n%s", out)
+	}
+
+	out, code = capture(t, func() int {
+		return run(context.Background(), []string{"-compare", oldPath, regressedPath})
+	})
+	if code != 2 {
+		t.Fatalf("injected regression exit %d, want 2:\n%s", code, out)
+	}
+	if !strings.Contains(out, "counter-regression") {
+		t.Errorf("regression compare output missing finding:\n%s", out)
+	}
+
+	if _, code := capture(t, func() int {
+		return run(context.Background(), []string{"-compare", filepath.Join(dir, "absent.json"), samePath})
+	}); code != 1 {
+		t.Errorf("unreadable report: exit %d, want 1", code)
+	}
+}
+
+// TestRunViolationExitCode drives a corrupted report through the same
+// schema guard the CI job relies on.
+func TestCompareRejectsForeignSchema(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	doc, _ := json.Marshal(map[string]any{"schema_version": 99, "tool": "gsubench"})
+	if err := os.WriteFile(bad, doc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	good := filepath.Join(dir, "good.json")
+	if err := benchreg.WriteFile(good, benchreg.NewReport(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, code := capture(t, func() int {
+		return run(context.Background(), []string{"-compare", bad, good})
+	}); code != 1 {
+		t.Errorf("foreign schema: exit %d, want 1", code)
+	}
+}

@@ -11,12 +11,19 @@
 //	gsuserve [-addr 127.0.0.1:8080] [-route-timeout 30s] [-workers 2]
 //	         [-max-concurrent 4] [-queue 8] [-retry-after 1s]
 //	         [-cache-capacity 512] [-cache-ttl 5m] [-cache-shards 8]
-//	         [-drain-timeout 30s] [-pprof host:port]
+//	         [-drain-timeout 30s] [-log json|text|off]
+//	         [-trace-sample 0.01] [-trace-ring 64] [-pprof host:port]
 //	gsuserve -loadgen -target http://host:port [-n 200] [-distinct 4]
 //	         [-seed 1] [-concurrency 8]
 //
 // Routes: POST/GET /v1/curve, /v1/optimize, /v1/propagate (JSON);
-// /healthz, /readyz, /metrics (Prometheus text).
+// /healthz, /readyz, /metrics (Prometheus text); GET /debug/traces
+// (sampled request traces, docs/OBSERVABILITY.md).
+//
+// All daemon output is structured logging (stdlib log/slog) on stderr:
+// one access record per request carrying trace_id/route/status plus
+// lifecycle events, machine-parseable as JSON by default. -log text is
+// for humans at a terminal; -log off silences everything.
 //
 // The -loadgen mode replays a deterministic generated load script
 // against a running daemon and prints the aggregate; it exits nonzero if
@@ -30,7 +37,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,14 +49,33 @@ import (
 	"guardedop/internal/serve"
 )
 
+// logger is the daemon's structured logger; run() reconfigures it from
+// the -log flag before any lifecycle event is emitted.
+var logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+
 // announce reports the bound listen address; a package variable so tests
 // can capture the dynamically chosen port of -addr host:0.
 var announce = func(addr string) {
-	log.Printf("gsuserve: listening on %s", addr)
+	logger.Info("listening", "addr", addr)
 }
 
 func main() {
 	os.Exit(run(context.Background(), os.Args[1:]))
+}
+
+// newLogger builds the daemon logger for one -log mode; the boolean is
+// false for an unknown mode.
+func newLogger(mode string) (*slog.Logger, bool) {
+	switch mode {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), true
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), true
+	case "off":
+		return slog.New(slog.NewTextHandler(io.Discard, nil)), true
+	default:
+		return nil, false
+	}
 }
 
 // run is the testable main: ctx plays the role of the process lifetime
@@ -68,6 +95,9 @@ func run(ctx context.Context, args []string) int {
 		cacheShards  = fs.Int("cache-shards", 8, "cache lock shards")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight work")
 		parametric   = fs.String("parametric", "auto", "closed-form parametric fast path: \"auto\" (numeric fallback outside the validated domain), \"on\" (fail analyzer builds outside it), \"off\" (numeric engine only)")
+		logMode      = fs.String("log", "json", "structured log format on stderr: \"json\", \"text\", or \"off\"")
+		traceSample  = fs.Float64("trace-sample", 0.01, "fraction of requests whose trace document is retained for /debug/traces (inbound X-Trace-Id and 5xx are always kept)")
+		traceRing    = fs.Int("trace-ring", 64, "sampled trace documents kept in memory for /debug/traces")
 		pprofSpec    = fs.String("pprof", "", "profiling: cpu[=file], mem[=file], or host:port for net/http/pprof")
 
 		loadgen  = fs.Bool("loadgen", false, "replay a generated load script against -target instead of serving")
@@ -80,22 +110,28 @@ func run(ctx context.Context, args []string) int {
 	if err := fs.Parse(args); err != nil {
 		return 1
 	}
+	l, ok := newLogger(*logMode)
+	if !ok {
+		logger.Error("invalid flag", "flag", "log", "got", *logMode, "want", "json|text|off")
+		return 1
+	}
+	logger = l
 	switch *parametric {
 	case "auto", "on", "off":
 	default:
-		log.Printf("gsuserve: -parametric must be \"auto\", \"on\" or \"off\", got %q", *parametric)
+		logger.Error("invalid flag", "flag", "parametric", "got", *parametric, "want", "auto|on|off")
 		return 1
 	}
 
 	if *pprofSpec != "" {
 		stop, err := pprofutil.StartPprof(*pprofSpec)
 		if err != nil {
-			log.Printf("gsuserve: %v", err)
+			logger.Error("pprof start failed", "err", err.Error())
 			return 1
 		}
 		defer func() {
 			if err := stop(); err != nil {
-				log.Printf("gsuserve: %v", err)
+				logger.Error("pprof stop failed", "err", err.Error())
 			}
 		}()
 	}
@@ -105,6 +141,10 @@ func run(ctx context.Context, args []string) int {
 	}
 
 	tracer := obs.NewTracer()
+	accessLog := logger
+	if *logMode == "off" {
+		accessLog = nil
+	}
 	s := serve.New(serve.Config{
 		RouteTimeout: *routeTimeout,
 		Workers:      *workers,
@@ -113,14 +153,17 @@ func run(ctx context.Context, args []string) int {
 			MaxQueue:      *queue,
 			RetryAfter:    *retryAfter,
 		},
-		ResponseCache: serve.CacheConfig{Shards: *cacheShards, Capacity: *cacheCap, TTL: *cacheTTL},
-		AnalyzerCache: serve.CacheConfig{Shards: *cacheShards},
-		Parametric:    *parametric,
-		Tracer:        tracer,
+		ResponseCache:   serve.CacheConfig{Shards: *cacheShards, Capacity: *cacheCap, TTL: *cacheTTL},
+		AnalyzerCache:   serve.CacheConfig{Shards: *cacheShards},
+		Parametric:      *parametric,
+		Tracer:          tracer,
+		TraceSampleRate: *traceSample,
+		TraceRing:       *traceRing,
+		Logger:          accessLog,
 	})
 	bound, err := s.Start(*addr)
 	if err != nil {
-		log.Printf("gsuserve: %v", err)
+		logger.Error("listen failed", "addr", *addr, "err", err.Error())
 		return 1
 	}
 	announce(bound)
@@ -130,16 +173,20 @@ func run(ctx context.Context, args []string) int {
 	sigCtx, stop := signal.NotifyContext(ctx, syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 	<-sigCtx.Done()
-	log.Printf("gsuserve: draining (up to %v)", *drainTimeout)
+	logger.Info("draining", "timeout", drainTimeout.String())
 	dctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), *drainTimeout)
 	defer cancel()
 	if err := s.Shutdown(dctx); err != nil {
-		log.Printf("gsuserve: drain: %v", err)
+		logger.Error("drain failed", "err", err.Error())
 		return 1
 	}
 	ctrs := tracer.Counters()
-	log.Printf("gsuserve: drained cleanly (%d requests, %d coalesced, %d shed, %d degraded)",
-		ctrs[obs.CtrServeRequests], ctrs[obs.CtrServeCoalesced], ctrs[obs.CtrServeShed], ctrs[obs.CtrServeDegraded])
+	logger.Info("drained",
+		"requests", ctrs[obs.CtrServeRequests],
+		"coalesced", ctrs[obs.CtrServeCoalesced],
+		"shed", ctrs[obs.CtrServeShed],
+		"degraded", ctrs[obs.CtrServeDegraded],
+		"traces_sampled", ctrs[obs.CtrServeTracesSampled])
 	return 0
 }
 
@@ -147,7 +194,7 @@ func run(ctx context.Context, args []string) int {
 // the aggregate report; nonzero exit on transport errors or any 5xx.
 func runLoadgen(ctx context.Context, target string, seed int64, n, distinct, conc int) int {
 	if target == "" {
-		log.Printf("gsuserve: -loadgen needs -target")
+		logger.Error("-loadgen needs -target")
 		return 1
 	}
 	spec := serve.GenerateLoad(seed, n, distinct)
@@ -156,12 +203,12 @@ func runLoadgen(ctx context.Context, target string, seed int64, n, distinct, con
 	}
 	report, err := serve.RunLoad(ctx, nil, target, spec)
 	if err != nil {
-		log.Printf("gsuserve: loadgen: %v", err)
+		logger.Error("loadgen failed", "err", err.Error())
 		return 1
 	}
 	fmt.Println(report)
 	if report.Transport > 0 || report.Errors5xx > 0 {
-		log.Printf("gsuserve: loadgen: %d transport errors, %d 5xx responses", report.Transport, report.Errors5xx)
+		logger.Error("loadgen saw failures", "transport", report.Transport, "errors_5xx", report.Errors5xx)
 		return 1
 	}
 	return 0

@@ -1,9 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"guardedop/internal/obs"
 )
 
 func capture(t *testing.T, fn func() error) (string, error) {
@@ -51,5 +55,50 @@ func TestRunSmallCustomConfig(t *testing.T) {
 func TestRunBadFlag(t *testing.T) {
 	if _, err := capture(t, func() error { return run([]string{"-definitely-not-a-flag"}) }); err == nil {
 		t.Error("unknown flag accepted")
+	}
+	if _, err := capture(t, func() error { return run([]string{"-metrics", "xml"}) }); err == nil {
+		t.Error("invalid -metrics mode accepted")
+	}
+}
+
+// TestRunTraceDocument: -trace must write a gsueval-schema trace document
+// whose spans and counters attribute the cross-validation's analytic
+// solver budget.
+func TestRunTraceDocument(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte-Carlo CLI test skipped in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "valsim-trace.json")
+	_, err := capture(t, func() error {
+		return run([]string{"-paths", "300", "-seed", "11", "-trace", path})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc obs.TraceDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file is not a TraceDoc: %v", err)
+	}
+	if doc.Manifest.Tool != "gsusim" || doc.Manifest.SchemaVersion != obs.TraceSchemaVersion {
+		t.Errorf("manifest = %+v, want tool gsusim at the current schema version", doc.Manifest)
+	}
+	if doc.Manifest.Seed != 11 || doc.Manifest.GridPoints != 6 {
+		t.Errorf("manifest seed/grid = %d/%d, want 11/6", doc.Manifest.Seed, doc.Manifest.GridPoints)
+	}
+	points := 0
+	for _, sp := range doc.Spans {
+		if sp.Name == "valsim.point" {
+			points++
+		}
+	}
+	if points != 6 {
+		t.Errorf("%d valsim.point spans, want one per phi (6)", points)
+	}
+	if doc.Manifest.Counters[obs.CtrSolvePasses]+doc.Manifest.Counters[obs.CtrParametricHits] == 0 {
+		t.Errorf("trace counters attribute no analytic solver work: %v", doc.Manifest.Counters)
 	}
 }

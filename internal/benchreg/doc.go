@@ -1,0 +1,16 @@
+// Package benchreg is the continuous performance observatory behind
+// cmd/gsubench: a pinned benchmark suite over the repo's hot paths, a
+// schema-versioned BENCH_<seq>.json report format, and a regression
+// differ.
+//
+// Each report entry combines two signals with very different noise
+// profiles. Wall-clock statistics (min/median/max over repetitions) are
+// environment-dependent, so the differ only flags them past a generous
+// tolerance band. The deterministic work counters from the trace
+// vocabulary (solver passes, parametric hits/fallbacks, template
+// instances, coalescing absorption) are exact: the runner re-executes
+// every benchmark under a fresh tracer per repetition and refuses to
+// report a counter that varies between repetitions, so any change
+// between two reports is a real behavioural change — detectable even on
+// the noisiest CI runner. See docs/BENCHMARKING.md.
+package benchreg

@@ -1,0 +1,201 @@
+package benchreg
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SchemaVersion is bumped on incompatible changes to the report
+// document; additive fields do not bump it. Load refuses documents from
+// a different major schema, so the CI gate fails loudly instead of
+// comparing apples to oranges.
+const SchemaVersion = 1
+
+// Wall is the wall-clock summary of one benchmark's repetitions.
+type Wall struct {
+	MinNanos    int64 `json:"min_ns"`
+	MedianNanos int64 `json:"median_ns"`
+	MaxNanos    int64 `json:"max_ns"`
+}
+
+// Rule pins an absolute expectation on one deterministic counter: the
+// runner checks it at run time (a violated rule is a failed run, not a
+// report entry to diff later), and the differ reuses its Op as the
+// counter's regression direction.
+type Rule struct {
+	// Op is "eq", "le" or "ge", relating the measured counter to Value.
+	Op string `json:"op"`
+	// Value is the pinned bound.
+	Value int64 `json:"value"`
+}
+
+// check evaluates the rule against a measured value.
+func (r Rule) check(v int64) bool {
+	switch r.Op {
+	case "eq":
+		return v == r.Value
+	case "le":
+		return v <= r.Value
+	case "ge":
+		return v >= r.Value
+	default:
+		return false
+	}
+}
+
+// Result is one benchmark's entry in a report.
+type Result struct {
+	Name string `json:"name"`
+	// Runs is the repetition count behind the wall statistics.
+	Runs int  `json:"runs"`
+	Wall Wall `json:"wall"`
+	// Counters is the deterministic work-counter section: identical
+	// across repetitions by construction (the runner enforces it), so
+	// identical across whole runs unless behaviour changed.
+	Counters map[string]int64 `json:"counters"`
+	// Rules records the absolute expectations this run was checked
+	// against, making the report self-describing for the differ.
+	Rules map[string]Rule `json:"rules,omitempty"`
+}
+
+// Report is one BENCH_<seq>.json document.
+type Report struct {
+	SchemaVersion int    `json:"schema_version"`
+	Tool          string `json:"tool"`
+	// Seq is the monotone sequence number in the report directory.
+	Seq       int      `json:"seq"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Results   []Result `json:"results"`
+}
+
+// NewReport returns an empty report stamped with the current schema and
+// environment.
+func NewReport(seq int) *Report {
+	return &Report{
+		SchemaVersion: SchemaVersion,
+		Tool:          "gsubench",
+		Seq:           seq,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+	}
+}
+
+// Result returns the named entry, or nil.
+func (r *Report) Result(name string) *Result {
+	for i := range r.Results {
+		if r.Results[i].Name == name {
+			return &r.Results[i]
+		}
+	}
+	return nil
+}
+
+// Write emits the report as indented JSON.
+func Write(w io.Writer, r *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to path.
+func WriteFile(path string, r *Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("benchreg: %w", err)
+	}
+	werr := Write(f, r)
+	if cerr := f.Close(); werr == nil && cerr != nil {
+		werr = fmt.Errorf("benchreg: %w", cerr)
+	}
+	return werr
+}
+
+// Load reads and validates one report document.
+func Load(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("benchreg: decoding report: %w", err)
+	}
+	if rep.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("benchreg: report schema v%d, this build reads v%d",
+			rep.SchemaVersion, SchemaVersion)
+	}
+	if rep.Tool != "gsubench" {
+		return nil, fmt.Errorf("benchreg: report tool %q, want gsubench", rep.Tool)
+	}
+	return &rep, nil
+}
+
+// LoadFile reads one report from path.
+func LoadFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchreg: %w", err)
+	}
+	rep, err := Load(f)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("benchreg: %w", cerr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	return rep, nil
+}
+
+// SeqPath names the report file for one sequence number, zero-padded so
+// lexical listings sort chronologically.
+func SeqPath(dir string, seq int) string {
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%04d.json", seq))
+}
+
+// NextSeq scans dir for BENCH_*.json files and returns one past the
+// highest sequence number found (1 in an empty or missing directory).
+func NextSeq(dir string) int {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 1
+	}
+	max := 0
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "BENCH_") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "BENCH_"), ".json"))
+		if err == nil && n > max {
+			max = n
+		}
+	}
+	return max + 1
+}
+
+// LatestPath returns the highest-sequence BENCH_*.json in dir, or ""
+// when none exists.
+func LatestPath(dir string) string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return ""
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, "BENCH_") && strings.HasSuffix(name, ".json") {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return ""
+	}
+	sort.Strings(names)
+	return filepath.Join(dir, names[len(names)-1])
+}

@@ -1,0 +1,116 @@
+package benchreg
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReportRoundTrip(t *testing.T) {
+	rep := NewReport(3)
+	rep.Results = append(rep.Results, Result{
+		Name:     "demo",
+		Runs:     2,
+		Wall:     Wall{MinNanos: 10, MedianNanos: 20, MaxNanos: 30},
+		Counters: map[string]int64{"ctmc.solve_passes": 98},
+		Rules:    map[string]Rule{"ctmc.solve_passes": {Op: "eq", Value: 98}},
+	})
+
+	var buf bytes.Buffer
+	if err := Write(&buf, rep); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.SchemaVersion != SchemaVersion || got.Tool != "gsubench" || got.Seq != 3 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	r := got.Result("demo")
+	if r == nil {
+		t.Fatal("Result(demo) = nil")
+	}
+	if r.Counters["ctmc.solve_passes"] != 98 || r.Wall.MedianNanos != 20 {
+		t.Fatalf("body mismatch: %+v", r)
+	}
+	if rule := r.Rules["ctmc.solve_passes"]; rule.Op != "eq" || rule.Value != 98 {
+		t.Fatalf("rules not round-tripped: %+v", r.Rules)
+	}
+	if got.Result("absent") != nil {
+		t.Fatal("Result(absent) should be nil")
+	}
+}
+
+func TestLoadRejectsForeignDocuments(t *testing.T) {
+	cases := map[string]string{
+		"wrong schema": `{"schema_version": 99, "tool": "gsubench"}`,
+		"wrong tool":   `{"schema_version": 1, "tool": "otherbench"}`,
+		"not json":     `BENCH report goes here`,
+	}
+	for name, doc := range cases {
+		if _, err := Load(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: Load accepted %q", name, doc)
+		}
+	}
+}
+
+func TestRuleCheck(t *testing.T) {
+	cases := []struct {
+		rule Rule
+		v    int64
+		want bool
+	}{
+		{Rule{Op: "eq", Value: 5}, 5, true},
+		{Rule{Op: "eq", Value: 5}, 6, false},
+		{Rule{Op: "le", Value: 5}, 5, true},
+		{Rule{Op: "le", Value: 5}, 6, false},
+		{Rule{Op: "ge", Value: 5}, 5, true},
+		{Rule{Op: "ge", Value: 5}, 4, false},
+		{Rule{Op: "lt", Value: 5}, 4, false}, // unknown op never passes
+	}
+	for _, c := range cases {
+		if got := c.rule.check(c.v); got != c.want {
+			t.Errorf("Rule{%s %d}.check(%d) = %v, want %v", c.rule.Op, c.rule.Value, c.v, got, c.want)
+		}
+	}
+}
+
+func TestSeqPathAndNextSeq(t *testing.T) {
+	dir := t.TempDir()
+	if got := NextSeq(dir); got != 1 {
+		t.Fatalf("NextSeq(empty) = %d, want 1", got)
+	}
+	if got := NextSeq(filepath.Join(dir, "missing")); got != 1 {
+		t.Fatalf("NextSeq(missing) = %d, want 1", got)
+	}
+	if got := LatestPath(dir); got != "" {
+		t.Fatalf("LatestPath(empty) = %q, want empty", got)
+	}
+
+	for _, seq := range []int{1, 2, 10} {
+		if err := WriteFile(SeqPath(dir, seq), NewReport(seq)); err != nil {
+			t.Fatalf("WriteFile(seq %d): %v", seq, err)
+		}
+	}
+	// Stray files must not confuse the scan.
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := NextSeq(dir); got != 11 {
+		t.Fatalf("NextSeq = %d, want 11", got)
+	}
+	if got, want := LatestPath(dir), SeqPath(dir, 10); got != want {
+		t.Fatalf("LatestPath = %q, want %q", got, want)
+	}
+	rep, err := LoadFile(SeqPath(dir, 10))
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if rep.Seq != 10 {
+		t.Fatalf("Seq = %d, want 10", rep.Seq)
+	}
+}

@@ -1,0 +1,123 @@
+package benchreg
+
+import (
+	"context"
+	"fmt"
+	"maps"
+	"sort"
+	"time"
+
+	"guardedop/internal/obs"
+)
+
+// Benchmark is one pinned suite entry. Run executes the workload once
+// under a context carrying a fresh tracer and returns the deterministic
+// counter section to record — typically a hand-picked, possibly derived
+// subset of the tracer's counters (raw counters whose split is
+// scheduling-dependent, like coalesced-vs-cache-hit, must be summed into
+// a deterministic aggregate before being reported).
+type Benchmark struct {
+	Name string
+	// Runs overrides the runner's repetition count when positive.
+	Runs int
+	// Rules pins absolute expectations on the returned counters.
+	Rules map[string]Rule
+	Run   func(ctx context.Context, tr *obs.Tracer) (map[string]int64, error)
+}
+
+// Options configures one suite run.
+type Options struct {
+	// Runs is the default repetition count per benchmark (3 when zero).
+	Runs int
+	// Match filters benchmarks by name; nil runs everything.
+	Match func(name string) bool
+	// Progress, when non-nil, receives one line per finished benchmark.
+	Progress func(format string, args ...any)
+}
+
+// Run executes the benchmarks and assembles a report. It returns the
+// report, the list of rule violations (hard failures for the CLI gate:
+// a violated rule means pinned behaviour changed in this very run), and
+// the first execution error. Counters that differ between repetitions
+// of one benchmark are an execution error — a nondeterministic counter
+// would poison every later comparison.
+func Run(ctx context.Context, benches []Benchmark, opts Options) (*Report, []string, error) {
+	reps := opts.Runs
+	if reps <= 0 {
+		reps = 3
+	}
+	rep := NewReport(0)
+	var violations []string
+	for _, b := range benches {
+		if opts.Match != nil && !opts.Match(b.Name) {
+			continue
+		}
+		n := reps
+		if b.Runs > 0 {
+			n = b.Runs
+		}
+		var counters map[string]int64
+		walls := make([]time.Duration, 0, n)
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+			tr := obs.NewTracer()
+			start := time.Now()
+			got, err := b.Run(obs.WithTracer(ctx, tr), tr)
+			walls = append(walls, time.Since(start))
+			if err != nil {
+				return nil, nil, fmt.Errorf("benchreg: %s (rep %d): %w", b.Name, i+1, err)
+			}
+			if got == nil {
+				got = map[string]int64{}
+			}
+			if i == 0 {
+				counters = got
+				continue
+			}
+			if !maps.Equal(counters, got) {
+				return nil, nil, fmt.Errorf(
+					"benchreg: %s: counters differ between repetitions (%v vs %v); "+
+						"a nondeterministic counter cannot gate regressions", b.Name, counters, got)
+			}
+		}
+		for _, name := range sortedKeys(b.Rules) {
+			rule := b.Rules[name]
+			if v := counters[name]; !rule.check(v) {
+				violations = append(violations, fmt.Sprintf(
+					"%s: counter %s = %d violates pinned rule %s %d",
+					b.Name, name, v, rule.Op, rule.Value))
+			}
+		}
+		sort.Slice(walls, func(i, j int) bool { return walls[i] < walls[j] })
+		res := Result{
+			Name: b.Name,
+			Runs: n,
+			Wall: Wall{
+				MinNanos:    walls[0].Nanoseconds(),
+				MedianNanos: walls[len(walls)/2].Nanoseconds(),
+				MaxNanos:    walls[len(walls)-1].Nanoseconds(),
+			},
+			Counters: counters,
+			Rules:    b.Rules,
+		}
+		rep.Results = append(rep.Results, res)
+		if opts.Progress != nil {
+			opts.Progress("%-20s median %-12v counters %d rules %d",
+				b.Name, time.Duration(res.Wall.MedianNanos).Round(time.Microsecond),
+				len(res.Counters), len(res.Rules))
+		}
+	}
+	return rep, violations, nil
+}
+
+// sortedKeys returns the map's keys in stable order.
+func sortedKeys(m map[string]Rule) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

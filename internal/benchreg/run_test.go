@@ -1,0 +1,137 @@
+package benchreg
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"guardedop/internal/obs"
+)
+
+// fakeBench returns a benchmark whose counters come from calling fn on
+// the repetition index (0-based).
+func fakeBench(name string, rules map[string]Rule, fn func(rep int) map[string]int64) Benchmark {
+	rep := 0
+	return Benchmark{
+		Name:  name,
+		Rules: rules,
+		Run: func(ctx context.Context, tr *obs.Tracer) (map[string]int64, error) {
+			c := fn(rep)
+			rep++
+			return c, nil
+		},
+	}
+}
+
+func TestRunDeterministicSuite(t *testing.T) {
+	benches := []Benchmark{
+		fakeBench("a", map[string]Rule{"work": {Op: "eq", Value: 7}},
+			func(int) map[string]int64 { return map[string]int64{"work": 7} }),
+		fakeBench("b", nil,
+			func(int) map[string]int64 { return map[string]int64{"items": 3} }),
+	}
+	var lines []string
+	rep, violations, err := Run(context.Background(), benches, Options{
+		Runs:     2,
+		Progress: func(format string, args ...any) { lines = append(lines, format) },
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("violations = %v, want none", violations)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(rep.Results))
+	}
+	a := rep.Result("a")
+	if a.Runs != 2 || a.Counters["work"] != 7 {
+		t.Fatalf("result a = %+v", a)
+	}
+	if a.Wall.MinNanos > a.Wall.MedianNanos || a.Wall.MedianNanos > a.Wall.MaxNanos {
+		t.Fatalf("wall stats unordered: %+v", a.Wall)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("progress lines = %d, want 2", len(lines))
+	}
+}
+
+func TestRunRejectsNondeterministicCounters(t *testing.T) {
+	benches := []Benchmark{
+		fakeBench("flaky", nil, func(rep int) map[string]int64 {
+			return map[string]int64{"work": int64(rep)}
+		}),
+	}
+	_, _, err := Run(context.Background(), benches, Options{Runs: 2})
+	if err == nil || !strings.Contains(err.Error(), "nondeterministic") {
+		t.Fatalf("Run err = %v, want nondeterministic-counter error", err)
+	}
+}
+
+func TestRunReportsRuleViolations(t *testing.T) {
+	benches := []Benchmark{
+		fakeBench("pinned", map[string]Rule{
+			"work":  {Op: "eq", Value: 98},
+			"spill": {Op: "le", Value: 0},
+		}, func(int) map[string]int64 {
+			return map[string]int64{"work": 99, "spill": 0}
+		}),
+	}
+	rep, violations, err := Run(context.Background(), benches, Options{Runs: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(violations) != 1 || !strings.Contains(violations[0], "work = 99") {
+		t.Fatalf("violations = %v, want one about work = 99", violations)
+	}
+	// The report is still produced: the violation gates the CLI exit
+	// code, not the artifact.
+	if rep.Result("pinned") == nil {
+		t.Fatal("violating benchmark missing from report")
+	}
+}
+
+func TestRunMatchFilterAndPerBenchRuns(t *testing.T) {
+	calls := 0
+	benches := []Benchmark{
+		{
+			Name: "keep.this",
+			Runs: 5,
+			Run: func(ctx context.Context, tr *obs.Tracer) (map[string]int64, error) {
+				calls++
+				return map[string]int64{"n": 1}, nil
+			},
+		},
+		fakeBench("drop.this", nil, func(int) map[string]int64 {
+			t.Fatal("filtered benchmark ran")
+			return nil
+		}),
+	}
+	rep, _, err := Run(context.Background(), benches, Options{
+		Runs:  2,
+		Match: func(name string) bool { return strings.HasPrefix(name, "keep") },
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(rep.Results) != 1 || rep.Results[0].Name != "keep.this" {
+		t.Fatalf("results = %+v, want only keep.this", rep.Results)
+	}
+	if calls != 5 {
+		t.Fatalf("per-bench Runs override ignored: %d calls, want 5", calls)
+	}
+}
+
+func TestRunHonorsContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := Run(ctx, []Benchmark{
+		fakeBench("never", nil, func(int) map[string]int64 {
+			t.Fatal("benchmark ran under cancelled context")
+			return nil
+		}),
+	}, Options{Runs: 1})
+	if err == nil {
+		t.Fatal("Run under cancelled context succeeded")
+	}
+}

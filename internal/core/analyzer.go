@@ -349,6 +349,14 @@ func (a *Analyzer) EvaluateWithPolicy(phi float64, policy GammaPolicy) (Result, 
 	return a.evaluateCtx(context.Background(), phi, policy)
 }
 
+// EvaluateContext is Evaluate under a caller-carried context: spans,
+// counters and cache statistics report to the context's tracer/scope, so
+// per-request and per-benchmark observers see the evaluation's work
+// attributed to them rather than to the process at large.
+func (a *Analyzer) EvaluateContext(ctx context.Context, phi float64) (Result, error) {
+	return a.evaluateCtx(ctx, phi, GammaPaperTauBar)
+}
+
 // evaluateCtx is the cached point-wise evaluation path under a
 // caller-carried context: one "core.evaluate" span covers the call, and
 // the memo-cache hits/misses and any fill's solver passes report to the

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"guardedop/internal/core"
 	"guardedop/internal/mdcd"
+	"guardedop/internal/obs"
 	"guardedop/internal/sim"
 	"guardedop/internal/textplot"
 )
@@ -49,6 +51,15 @@ type ValsimRow struct {
 
 // RunValsim executes the cross-validation and returns per-φ rows.
 func RunValsim(cfg ValsimConfig) ([]ValsimRow, error) {
+	return RunValsimContext(context.Background(), cfg)
+}
+
+// RunValsimContext is RunValsim under a caller-carried context: the
+// analytic evaluations and a per-φ valsim.point span report to the
+// context's tracer, so `gsusim -trace`/`-metrics` can attribute the
+// cross-validation's solver budget (the simulation itself is pure
+// Monte-Carlo and contributes wall time, not solver passes).
+func RunValsimContext(ctx context.Context, cfg ValsimConfig) ([]ValsimRow, error) {
 	analyzer, err := core.NewAnalyzer(cfg.Params)
 	if err != nil {
 		return nil, err
@@ -60,17 +71,22 @@ func RunValsim(cfg ValsimConfig) ([]ValsimRow, error) {
 	}
 	rows := make([]ValsimRow, 0, len(cfg.Phis))
 	for _, phi := range cfg.Phis {
-		ana, err := analyzer.Evaluate(phi)
+		pctx, sp := obs.StartSpan(ctx, "valsim.point")
+		sp.SetFloat("phi", phi)
+		ana, err := analyzer.EvaluateContext(pctx, phi)
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
 		fixed, err := s.EstimateY(phi, sim.Options{
 			Paths: cfg.Paths, Seed: cfg.Seed, GammaMode: sim.GammaFixed, Gamma: ana.Gamma,
 		})
 		if err != nil {
+			sp.End()
 			return nil, err
 		}
 		perPath, err := s.EstimateY(phi, sim.Options{Paths: cfg.Paths, Seed: cfg.Seed + 1})
+		sp.End()
 		if err != nil {
 			return nil, err
 		}

@@ -65,6 +65,11 @@ func CountThings(ctx context.Context, tr *obs.Tracer) {
 	obs.Count(ctx, obs.CtrParametricHits, 1)
 	tr.Count(obs.CtrParametricFallbacks, 1)
 	obs.Count(ctx, "parametric.hit", 1) // want exhaustive
+	// The trace-sampling counters joined the vocabulary with the serve
+	// tracer; the singular near-miss is the classic dashboard splitter.
+	tr.Count(obs.CtrServeTracesSampled, 1)
+	tr.Count(obs.CtrServeTracesDropped, 1)
+	obs.Count(ctx, "serve.trace.sampled", 1) // want exhaustive
 }
 
 // CountDynamic builds the name at runtime, which is out of scope.

@@ -29,9 +29,12 @@ func (h *Histogram) observe(ns int64) {
 	h.n++
 }
 
-// HistSnapshot is the serializable state of one histogram. Counts[i] is
-// the number of observations ≤ BoundsNanos[i]; the final entry of Counts
-// is the overflow bucket.
+// HistSnapshot is the serializable state of one histogram. Counts is
+// per-bucket, not cumulative: Counts[i] is the number of observations in
+// (BoundsNanos[i-1], BoundsNanos[i]], and the final entry — one past the
+// last bound — is the overflow bucket holding every observation above
+// the top bound, so the entries of Counts always sum to Count and no
+// observation is dropped from an exposition.
 type HistSnapshot struct {
 	BoundsNanos []int64 `json:"bounds_ns"`
 	Counts      []int64 `json:"counts"`

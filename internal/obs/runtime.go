@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo identifies the running binary for the gsu_build_info metric:
+// the standard info-pseudo-gauge pattern, where the interesting values
+// ride as labels on a constant-1 sample so dashboards can join them onto
+// any other series.
+type BuildInfo struct {
+	// Version is the main module version ("(devel)" for plain builds).
+	Version string
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string
+	// Revision is the VCS commit hash stamped by the go tool, or
+	// "unknown" when the binary was built outside a checkout.
+	Revision string
+	// Modified is "true" when the working tree was dirty at build time,
+	// "false" when clean, "unknown" without VCS stamping.
+	Modified string
+}
+
+// CurrentBuildInfo reads the binary's embedded build metadata via
+// debug.ReadBuildInfo. Every field is populated — absent information
+// degrades to "unknown" rather than an empty label.
+func CurrentBuildInfo() BuildInfo {
+	bi := BuildInfo{
+		Version:   "unknown",
+		GoVersion: runtime.Version(),
+		Revision:  "unknown",
+		Modified:  "unknown",
+	}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	if info.Main.Version != "" {
+		bi.Version = info.Main.Version
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			bi.Revision = s.Value
+		case "vcs.modified":
+			bi.Modified = s.Value
+		}
+	}
+	return bi
+}
+
+// RuntimeStats is a point-in-time snapshot of process health for the
+// /metrics endpoint: scheduler pressure (goroutines), memory footprint
+// (heap), and cumulative GC cost.
+type RuntimeStats struct {
+	Goroutines     int
+	HeapAllocBytes uint64
+	HeapSysBytes   uint64
+	GCCycles       uint32
+	GCPauseNanos   uint64
+}
+
+// ReadRuntimeStats samples the Go runtime. ReadMemStats stops the world
+// briefly; call this at scrape time, not per request.
+func ReadRuntimeStats() RuntimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return RuntimeStats{
+		Goroutines:     runtime.NumGoroutine(),
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapSysBytes:   ms.HeapSys,
+		GCCycles:       ms.NumGC,
+		GCPauseNanos:   ms.PauseTotalNs,
+	}
+}
+
+// WritePromGauges renders one gauge family per entry (gsu_<name>) in the
+// Prometheus text exposition format, in deterministic name order.
+func WritePromGauges(w io.Writer, gauges map[string]float64) error {
+	for _, name := range sortedKeys(gauges) {
+		fam := promNamespace + "_" + promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", fam, fam, gauges[name]); err != nil {
+			return fmt.Errorf("obs: writing prom gauges: %w", err)
+		}
+	}
+	return nil
+}
+
+// WritePromRuntime renders the build-info pseudo-gauge and the process
+// runtime gauges/counters. The family set is pinned by a golden test —
+// extending it means updating the golden key set deliberately.
+func WritePromRuntime(w io.Writer, bi BuildInfo, rs RuntimeStats) error {
+	if _, err := fmt.Fprintf(w,
+		"# TYPE %s_build_info gauge\n%s_build_info{version=%q,go=%q,vcs_revision=%q,vcs_modified=%q} 1\n",
+		promNamespace, promNamespace,
+		promLabel(bi.Version), promLabel(bi.GoVersion), promLabel(bi.Revision), promLabel(bi.Modified)); err != nil {
+		return fmt.Errorf("obs: writing prom build info: %w", err)
+	}
+	if err := WritePromGauges(w, map[string]float64{
+		"goroutines":       float64(rs.Goroutines),
+		"heap_alloc_bytes": float64(rs.HeapAllocBytes),
+		"heap_sys_bytes":   float64(rs.HeapSysBytes),
+	}); err != nil {
+		return err
+	}
+	// The GC families are cumulative, so they carry the counter type and
+	// the _total suffix despite being sampled like gauges.
+	for _, c := range []struct {
+		name string
+		val  float64
+	}{
+		{"gc_cycles_total", float64(rs.GCCycles)},
+		{"gc_pause_seconds_total", float64(rs.GCPauseNanos) / 1e9},
+	} {
+		fam := promNamespace + "_" + c.name
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %g\n", fam, fam, c.val); err != nil {
+			return fmt.Errorf("obs: writing prom runtime counters: %w", err)
+		}
+	}
+	return nil
+}

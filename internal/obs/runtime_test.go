@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// promFamilies extracts the family names of one exposition (the first
+// token of each # TYPE line).
+func promFamilies(t *testing.T, text string) []string {
+	t.Helper()
+	var fams []string
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) >= 3 && fields[0] == "#" && fields[1] == "TYPE" {
+			fams = append(fams, fields[2])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(fams)
+	return fams
+}
+
+// TestWritePromRuntimeGoldenKeySet pins the runtime/build-info exposition
+// family set: a dashboard keying on these names must not lose them to an
+// accidental rename. Extending the set means updating this list
+// deliberately.
+func TestWritePromRuntimeGoldenKeySet(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePromRuntime(&buf, CurrentBuildInfo(), ReadRuntimeStats()); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"gsu_build_info",
+		"gsu_gc_cycles_total",
+		"gsu_gc_pause_seconds_total",
+		"gsu_goroutines",
+		"gsu_heap_alloc_bytes",
+		"gsu_heap_sys_bytes",
+	}
+	got := promFamilies(t, buf.String())
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("runtime exposition families = %v, want %v", got, want)
+	}
+	// The info pseudo-gauge carries its values as labels on a 1 sample.
+	if !strings.Contains(buf.String(), `gsu_build_info{version=`) {
+		t.Fatalf("missing build_info labels:\n%s", buf.String())
+	}
+	for _, label := range []string{"go=", "vcs_revision=", "vcs_modified="} {
+		if !strings.Contains(buf.String(), label) {
+			t.Fatalf("build_info missing %s label:\n%s", label, buf.String())
+		}
+	}
+}
+
+// TestCurrentBuildInfoNeverEmpty pins the degradation contract: absent
+// metadata becomes "unknown", never an empty label value.
+func TestCurrentBuildInfoNeverEmpty(t *testing.T) {
+	bi := CurrentBuildInfo()
+	for name, v := range map[string]string{
+		"Version": bi.Version, "GoVersion": bi.GoVersion,
+		"Revision": bi.Revision, "Modified": bi.Modified,
+	} {
+		if v == "" {
+			t.Errorf("BuildInfo.%s is empty, want a value or \"unknown\"", name)
+		}
+	}
+	if !strings.HasPrefix(bi.GoVersion, "go") {
+		t.Errorf("GoVersion = %q, want a go toolchain version", bi.GoVersion)
+	}
+}
+
+// TestWritePromGaugesDeterministic pins ordering and format.
+func TestWritePromGaugesDeterministic(t *testing.T) {
+	render := func() string {
+		var buf bytes.Buffer
+		if err := WritePromGauges(&buf, map[string]float64{
+			"serve_queue_depth":       3,
+			"serve_inflight_requests": 7,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("gauge rendering not deterministic:\n%s\nvs\n%s", a, b)
+	}
+	want := "# TYPE gsu_serve_inflight_requests gauge\ngsu_serve_inflight_requests 7\n" +
+		"# TYPE gsu_serve_queue_depth gauge\ngsu_serve_queue_depth 3\n"
+	if a != want {
+		t.Fatalf("gauge exposition:\n%s\nwant:\n%s", a, want)
+	}
+}

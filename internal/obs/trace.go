@@ -28,6 +28,12 @@ type CacheStats struct {
 type Manifest struct {
 	SchemaVersion int    `json:"schema_version"`
 	Tool          string `json:"tool"`
+	// TraceID and Route identify one served request's trace in the
+	// daemon's /debug/traces ring (additive to schema version 1; empty on
+	// whole-run CLI traces). TraceID is the request's X-Trace-Id value,
+	// so a document can be found from an access-log line and vice versa.
+	TraceID string `json:"trace_id,omitempty"`
+	Route   string `json:"route,omitempty"`
 	// Params is the solved parameter set, keyed by flag name.
 	Params map[string]float64 `json:"params,omitempty"`
 	// Seed is the RNG seed of simulation-backed runs; 0 for analytic runs.

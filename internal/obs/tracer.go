@@ -68,6 +68,12 @@ const (
 	CtrServeCacheMisses    = "serve.cache.misses"
 	CtrServeCacheEvictions = "serve.cache.evictions"
 	CtrServeCacheExpired   = "serve.cache.expired"
+	// CtrServeTracesSampled / CtrServeTracesDropped count the per-request
+	// trace documents retained in versus dropped from the /debug/traces
+	// ring by the sampling decision (inbound trace header and 5xx always
+	// retain; everything else is subject to the configured probability).
+	CtrServeTracesSampled = "serve.traces.sampled"
+	CtrServeTracesDropped = "serve.traces.dropped"
 )
 
 // Attr is one key/value annotation on a span. Values are restricted to
@@ -158,11 +164,19 @@ func (s *Span) Name() string {
 // A nil *Tracer is a valid no-op for every method.
 type Tracer struct {
 	start time.Time
+	// parent, when set (NewRequestTracer), receives this tracer's
+	// aggregates live — counters, stage statistics, histogram
+	// observations — while the span objects themselves stay local, so a
+	// per-request tracer yields a self-contained trace document and the
+	// process tracer's /metrics totals still update as work happens, not
+	// when the request ends.
+	parent *Tracer
 
 	mu       sync.Mutex
 	nextID   uint64
 	spans    []*Span // finished spans, in End order
 	counters map[string]int64
+	stats    map[string]StageStats // per-name aggregates of finished spans
 	hists    map[string]*Histogram
 }
 
@@ -171,8 +185,22 @@ func NewTracer() *Tracer {
 	return &Tracer{
 		start:    time.Now(),
 		counters: make(map[string]int64),
+		stats:    make(map[string]StageStats),
 		hists:    make(map[string]*Histogram),
 	}
+}
+
+// NewRequestTracer returns an empty collector parented to parent: every
+// counter increment, finished span and histogram observation recorded
+// here also folds into parent (and its ancestors) as an aggregate, while
+// the span objects remain local to the child. This is the serving
+// layer's per-request collector — the request gets its own span tree for
+// the /debug/traces ring, and the process tracer keeps live totals. A
+// nil parent is equivalent to NewTracer.
+func NewRequestTracer(parent *Tracer) *Tracer {
+	t := NewTracer()
+	t.parent = parent
+	return t
 }
 
 // since returns the monotonic offset from the tracer start.
@@ -196,20 +224,50 @@ func (t *Tracer) newSpan(name string, parent *Span) *Span {
 	return sp
 }
 
-// finish records a completed span.
+// finish records a completed span and propagates its aggregate (name,
+// duration) to the parent chain.
 func (t *Tracer) finish(s *Span) {
+	ns := s.dur.Nanoseconds()
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.spans = append(t.spans, s)
 	h := t.hists[s.name]
 	if h == nil {
 		h = &Histogram{}
 		t.hists[s.name] = h
 	}
-	h.observe(s.dur.Nanoseconds())
+	h.observe(ns)
+	st := t.stats[s.name]
+	st.Count++
+	st.Nanos += ns
+	t.stats[s.name] = st
+	t.mu.Unlock()
+	if t.parent != nil {
+		t.parent.observeStage(s.name, ns)
+	}
 }
 
-// Count adds delta to the named counter.
+// observeStage folds one finished-span aggregate into the tracer's stage
+// statistics and histogram without recording a span object — the form in
+// which child-tracer spans reach their ancestors.
+func (t *Tracer) observeStage(name string, ns int64) {
+	t.mu.Lock()
+	h := t.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		t.hists[name] = h
+	}
+	h.observe(ns)
+	st := t.stats[name]
+	st.Count++
+	st.Nanos += ns
+	t.stats[name] = st
+	t.mu.Unlock()
+	if t.parent != nil {
+		t.parent.observeStage(name, ns)
+	}
+}
+
+// Count adds delta to the named counter, and to every ancestor's.
 func (t *Tracer) Count(name string, delta int64) {
 	if t == nil {
 		return
@@ -217,22 +275,29 @@ func (t *Tracer) Count(name string, delta int64) {
 	t.mu.Lock()
 	t.counters[name] += delta
 	t.mu.Unlock()
+	if t.parent != nil {
+		t.parent.Count(name, delta)
+	}
 }
 
 // Observe folds one duration into the named histogram without creating a
-// span (for cheap repeated operations not worth a trace node each).
+// span (for cheap repeated operations not worth a trace node each). Like
+// spans and counters, the observation propagates to every ancestor.
 func (t *Tracer) Observe(name string, d time.Duration) {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	h := t.hists[name]
 	if h == nil {
 		h = &Histogram{}
 		t.hists[name] = h
 	}
 	h.observe(d.Nanoseconds())
+	t.mu.Unlock()
+	if t.parent != nil {
+		t.parent.Observe(name, d)
+	}
 }
 
 // Counter returns the current value of one counter.
@@ -267,19 +332,18 @@ type StageStats struct {
 	Nanos int64 `json:"nanos"`
 }
 
-// Stages aggregates the finished spans by name.
+// Stages aggregates the finished spans by name — the tracer's own plus,
+// for a tracer with request-tracer children, every span aggregate those
+// children propagated up.
 func (t *Tracer) Stages() map[string]StageStats {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := make(map[string]StageStats)
-	for _, s := range t.spans {
-		st := out[s.name]
-		st.Count++
-		st.Nanos += s.dur.Nanoseconds()
-		out[s.name] = st
+	out := make(map[string]StageStats, len(t.stats))
+	for k, v := range t.stats {
+		out[k] = v
 	}
 	return out
 }
@@ -451,4 +515,18 @@ func Count(ctx context.Context, name string, delta int64) {
 // histogram; a no-op without a tracer.
 func ObserveDuration(ctx context.Context, name string, d time.Duration) {
 	TracerFrom(ctx).Observe(name, d)
+}
+
+// AdoptTrace transplants src's traced position — tracer, current span,
+// counter scope — onto dst, which keeps dst's cancellation and values
+// otherwise. This is how a coalesced flight, which must run on the
+// server-lifetime context rather than any one request's, still records
+// its work under the leader request's trace. When src carries no traced
+// position, dst is returned unchanged.
+func AdoptTrace(dst, src context.Context) context.Context {
+	n := nodeFrom(src)
+	if n == nil {
+		return dst
+	}
+	return context.WithValue(dst, ctxKey{}, n)
 }

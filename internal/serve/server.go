@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"sync/atomic"
@@ -43,8 +44,22 @@ type Config struct {
 	// instead of refusing to start.
 	Parametric string
 	// Tracer is the process tracer backing /metrics; nil runs untraced
-	// (counters become no-ops, /metrics serves an empty exposition).
+	// (counters become no-ops, /metrics serves an empty exposition, and
+	// no per-request tracing happens — the zero-overhead path).
 	Tracer *obs.Tracer
+	// TraceSampleRate is the probability a successful request's trace
+	// document is retained in the /debug/traces ring (0 disables
+	// probabilistic sampling). Requests carrying an inbound X-Trace-Id
+	// header and requests answered 5xx are always retained. Only
+	// meaningful with a Tracer.
+	TraceSampleRate float64
+	// TraceRing bounds the /debug/traces document ring (default 64; only
+	// meaningful with a Tracer).
+	TraceRing int
+	// Logger receives one structured access-log record per request
+	// (trace_id, route, status, degraded, coalesced, …). Nil disables
+	// access logging.
+	Logger *slog.Logger
 	// ErrorLog receives transport-level problems (failed response
 	// writes, recovered panics). Nil uses the log package default.
 	ErrorLog *log.Logger
@@ -66,6 +81,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ResponseCache.Capacity == 0 {
 		c.ResponseCache.Capacity = 512
+	}
+	if c.TraceRing <= 0 {
+		c.TraceRing = 64
 	}
 	if c.Parametric != "on" && c.Parametric != "off" {
 		c.Parametric = "auto"
@@ -93,6 +111,7 @@ func (c Config) parametricMode() core.ParametricMode {
 type Server struct {
 	cfg    Config
 	tracer *obs.Tracer
+	logger *slog.Logger
 	logf   func(format string, args ...any)
 
 	// base is the lifecycle context flights derive from: it carries the
@@ -106,6 +125,13 @@ type Server struct {
 	responses *Cache[*apiResult]
 	flights   *Coalescer[*apiResult]
 	limiter   *Limiter
+	// ring holds the sampled per-request trace documents behind
+	// /debug/traces; nil when the server runs untraced.
+	ring *traceRing
+	// inflight gauges the HTTP requests currently inside the handler
+	// (admitted or not), exposed on /metrics next to the limiter's
+	// active/queued pair.
+	inflight atomic.Int64
 
 	draining atomic.Bool
 	mux      *http.ServeMux
@@ -130,6 +156,10 @@ func New(cfg Config) *Server {
 			obs.CtrServeCacheHits, obs.CtrServeCacheMisses, obs.CtrServeCacheEvictions, obs.CtrServeCacheExpired),
 		flights: NewCoalescer[*apiResult](base),
 		limiter: NewLimiter(cfg.Limiter),
+		logger:  cfg.Logger,
+	}
+	if cfg.Tracer != nil {
+		s.ring = newTraceRing(cfg.TraceRing)
 	}
 	if cfg.ErrorLog != nil {
 		s.logf = cfg.ErrorLog.Printf
@@ -140,6 +170,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/traces", s.handleDebugTraces)
 	s.mux.HandleFunc("/v1/curve", s.handleCurve)
 	s.mux.HandleFunc("/v1/scenario/curve", s.handleScenarioCurve)
 	s.mux.HandleFunc("/v1/optimize", s.handleOptimize)
@@ -147,23 +178,62 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the server's root handler: panic recovery and tracer
-// injection around the route mux. Usable directly with httptest.
+// Handler returns the server's root handler: per-request tracing, panic
+// recovery, and structured access logging around the route mux. Usable
+// directly with httptest.
+//
+// With a process tracer configured, every request gets a trace ID
+// (adopted from an inbound X-Trace-Id header, else generated), a
+// request-scoped child tracer whose aggregates stream into the process
+// tracer live, and a root span named serve.http.<route> — which is what
+// gives /metrics its route-labeled request-latency histograms. Without a
+// tracer the request runs on the old zero-overhead untraced path.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		info := &reqInfo{route: routeLabel(r.URL.Path)}
+		ctx := r.Context()
+		var rt *obs.Tracer
+		var root *obs.Span
+		if s.tracer != nil {
+			info.traceID = sanitizeTraceID(r.Header.Get(TraceHeader))
+			info.forced = info.traceID != ""
+			if info.traceID == "" {
+				info.traceID = newTraceID()
+			}
+			w.Header().Set(TraceHeader, info.traceID)
+			rt = obs.NewRequestTracer(s.tracer)
+			ctx = obs.WithTracer(ctx, rt)
+			ctx, root = obs.StartSpan(ctx, "serve.http."+info.route)
+			root.SetStr("trace_id", info.traceID)
+		}
+		ctx = context.WithValue(ctx, reqInfoKey{}, info)
+		r = r.WithContext(ctx)
+		sw := &statusWriter{ResponseWriter: w}
+		s.inflight.Add(1)
+		start := time.Now()
 		defer func() {
 			if rec := recover(); rec != nil {
-				obs.Count(s.traced(r.Context()), obs.CtrServePanics, 1)
+				obs.Count(ctx, obs.CtrServePanics, 1)
 				s.logf("serve: recovered panic on %s: %v", r.URL.Path, rec)
-				s.writeError(w, r, fmt.Errorf("%w: %v", robust.ErrPanic, rec))
+				s.writeError(sw, r, fmt.Errorf("%w: %v", robust.ErrPanic, rec))
 			}
+			s.inflight.Add(-1)
+			status := sw.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			if rt != nil {
+				s.finishTrace(rt, root, info, status)
+			}
+			s.logRequest(r, info, status, time.Since(start))
 		}()
-		r = r.WithContext(s.traced(r.Context()))
-		s.mux.ServeHTTP(w, r)
+		s.mux.ServeHTTP(sw, r)
 	})
 }
 
-// traced attaches the process tracer to a request context.
+// traced attaches the process tracer to a context — the bare-tracer
+// variant of what the middleware does, for callers (and tests) driving
+// serveAPI below the Handler middleware.
 func (s *Server) traced(ctx context.Context) context.Context {
 	return obs.WithTracer(ctx, s.tracer)
 }
@@ -220,6 +290,12 @@ type apiResult struct {
 	cacheable bool
 	// retryAfter is set on shed responses.
 	retryAfter time.Duration
+	// traceID identifies the trace of the flight that computed this
+	// result. Coalesced waiters and response-cache hits record it as a
+	// link on their own root spans, which is what attributes a thousand
+	// identical requests to the one leader trace holding the solve tree.
+	// Written once inside the computing flight, read-only afterwards.
+	traceID string
 }
 
 // errEnvelope is the JSON error document.
@@ -257,12 +333,21 @@ func shedResult(retryAfter time.Duration) *apiResult {
 // errorResult so they share status mapping and coalesce like successes.
 func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, key string, budget time.Duration, compute func(ctx context.Context) *apiResult) {
 	ctx := r.Context()
+	info := reqInfoFrom(ctx)
 	obs.Count(ctx, obs.CtrServeRequests, 1)
 	if res, ok := s.responses.Get(ctx, key); ok {
+		info.noteResultOrigin(res, true)
 		s.writeResult(w, r, res, true)
 		return
 	}
 	res, shared, err := s.flights.Do(ctx, key, func(fctx context.Context) (out *apiResult, _ error) {
+		// The flight runs on the server-lifetime context (an impatient
+		// leader hanging up must not abort the solve other waiters need),
+		// but its work still belongs to the leader's trace: transplant the
+		// leader's traced position onto the flight context, so the solve
+		// span tree lands in the leader's request tracer — and, by
+		// aggregate propagation, in the process tracer.
+		fctx = obs.AdoptTrace(fctx, ctx)
 		defer func() {
 			// A panic inside a flight would otherwise kill the process
 			// (the flight runs outside the HTTP handler's recovery).
@@ -270,6 +355,11 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, key string, bu
 				obs.Count(fctx, obs.CtrServePanics, 1)
 				s.logf("serve: recovered panic in flight %s: %v", r.URL.Path, rec)
 				out = errorResult(fmt.Errorf("%w: %v", robust.ErrPanic, rec))
+			}
+			// Stamp fresh results with the computing request's trace ID;
+			// results recycled from the cache re-check keep their original.
+			if out != nil && out.traceID == "" && info != nil {
+				out.traceID = info.traceID
 			}
 		}()
 		// Re-check the cache now that this flight owns the key: a request
@@ -310,7 +400,11 @@ func (s *Server) serveAPI(w http.ResponseWriter, r *http.Request, key string, bu
 	}
 	if shared {
 		obs.Count(ctx, obs.CtrServeCoalesced, 1)
+		if info != nil {
+			info.coalesced = true
+		}
 	}
+	info.noteResultOrigin(res, false)
 	s.writeResult(w, r, res, false)
 }
 
@@ -331,6 +425,9 @@ func (s *Server) writeResult(w http.ResponseWriter, r *http.Request, res *apiRes
 	ctx := r.Context()
 	if res.degraded {
 		obs.Count(ctx, obs.CtrServeDegraded, 1)
+		if info := reqInfoFrom(ctx); info != nil {
+			info.degraded = true
+		}
 	}
 	if res.status >= 400 && res.status != http.StatusTooManyRequests {
 		obs.Count(ctx, obs.CtrServeErrors, 1)
@@ -390,12 +487,54 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 
 // handleMetrics exposes the process tracer in the Prometheus text
 // format, through the same formatter as `gsueval -metrics prom`
-// (robust.Metrics.WritePromWith → obs.WritePromText).
+// (robust.Metrics.WritePromWith → obs.WritePromText), followed by the
+// serving-state gauges (in-flight requests, limiter occupancy, queue
+// depth, trace-ring fill) and the process runtime/build-info families.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m := robust.NewMetrics(0, 0)
 	m.AddTrace(s.tracer)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	if err := m.WritePromWith(w, s.tracer.Histograms()); err != nil {
 		s.logf("serve: writing /metrics: %v", err)
+		return
 	}
+	gauges := map[string]float64{
+		"serve_inflight_requests": float64(s.inflight.Load()),
+		"serve_active_solves":     float64(s.limiter.Active()),
+		"serve_queue_depth":       float64(s.limiter.Queued()),
+	}
+	if s.ring != nil {
+		stored, _ := s.ring.snapshot()
+		gauges["serve_trace_ring_size"] = float64(len(stored))
+	}
+	if err := obs.WritePromGauges(w, gauges); err != nil {
+		s.logf("serve: writing /metrics gauges: %v", err)
+		return
+	}
+	if err := obs.WritePromRuntime(w, obs.CurrentBuildInfo(), obs.ReadRuntimeStats()); err != nil {
+		s.logf("serve: writing /metrics runtime: %v", err)
+	}
+}
+
+// debugTracesResponse is the GET /debug/traces document: the sampled
+// trace ring, newest first, each entry an obs.TraceDoc exactly as
+// obs.WriteTrace would emit it (same schema as `gsueval -trace`).
+type debugTracesResponse struct {
+	Capacity int            `json:"capacity"`
+	Stored   int            `json:"stored"`
+	Sampled  int64          `json:"sampled"`
+	Traces   []obs.TraceDoc `json:"traces"`
+}
+
+// handleDebugTraces serves the sampled request-trace ring. With tracing
+// disabled it reports an empty ring rather than erroring, so probes can
+// hit the route unconditionally.
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	resp := debugTracesResponse{Traces: []obs.TraceDoc{}}
+	if s.ring != nil {
+		resp.Traces, resp.Sampled = s.ring.snapshot()
+		resp.Capacity = s.ring.capacity()
+		resp.Stored = len(resp.Traces)
+	}
+	s.writeJSON(w, r, http.StatusOK, resp)
 }

@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"sync"
+
+	"guardedop/internal/obs"
+)
+
+// traceRing is the bounded in-memory store behind GET /debug/traces: the
+// last N sampled trace documents, overwritten oldest-first. A fixed ring
+// keeps the debug endpoint's memory bounded no matter how long the
+// daemon runs or how hot the sampler is.
+type traceRing struct {
+	mu    sync.Mutex
+	buf   []obs.TraceDoc
+	next  int   // index the next push writes
+	count int   // filled slots, ≤ len(buf)
+	total int64 // documents ever pushed (≥ count once wrapped)
+}
+
+// newTraceRing returns a ring holding up to capacity documents.
+func newTraceRing(capacity int) *traceRing {
+	return &traceRing{buf: make([]obs.TraceDoc, capacity)}
+}
+
+// push stores one document, evicting the oldest when full.
+func (r *traceRing) push(doc obs.TraceDoc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) == 0 {
+		return
+	}
+	r.buf[r.next] = doc
+	r.next = (r.next + 1) % len(r.buf)
+	if r.count < len(r.buf) {
+		r.count++
+	}
+	r.total++
+}
+
+// snapshot returns the stored documents newest-first, plus the
+// total-ever-pushed count.
+func (r *traceRing) snapshot() ([]obs.TraceDoc, int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]obs.TraceDoc, 0, r.count)
+	for i := 1; i <= r.count; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out, r.total
+}
+
+// capacity returns the ring's fixed size.
+func (r *traceRing) capacity() int { return len(r.buf) }

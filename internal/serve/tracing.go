@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"context"
+	"log/slog"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"time"
+
+	"guardedop/internal/obs"
+)
+
+// TraceHeader is the request/response header carrying the trace ID. An
+// inbound value is adopted (and forces sampling, so a client or an
+// upstream proxy can always capture one specific request's trace); when
+// absent the server generates one. The response always echoes the ID, so
+// every client can correlate its answer with the daemon's logs and the
+// /debug/traces ring.
+const TraceHeader = "X-Trace-Id"
+
+// newTraceID returns a fresh 128-bit hex trace ID. The generator does
+// not need to be cryptographic — IDs only need process-level uniqueness
+// for log correlation — so the shared PRNG is enough.
+func newTraceID() string {
+	var buf [32]byte
+	b := strconv.AppendUint(buf[:0], rand.Uint64(), 16)
+	for len(b) < 16 {
+		b = append(b, '0')
+	}
+	b = strconv.AppendUint(b, rand.Uint64(), 16)
+	for len(b) < 32 {
+		b = append(b, '0')
+	}
+	return string(b)
+}
+
+// sanitizeTraceID validates an inbound trace ID: 1–64 characters drawn
+// from [0-9a-zA-Z-], so hostile header values cannot smuggle log- or
+// JSON-hostile bytes into every downstream record. Anything else is
+// treated as absent.
+func sanitizeTraceID(id string) string {
+	if len(id) == 0 || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '-':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// routeLabel maps a request path to its bounded metric label. Unknown
+// paths collapse to "other" so a path-scanning crawler cannot mint
+// unbounded label values.
+func routeLabel(path string) string {
+	switch path {
+	case "/v1/curve":
+		return "curve"
+	case "/v1/scenario/curve":
+		return "scenario_curve"
+	case "/v1/optimize":
+		return "optimize"
+	case "/v1/propagate":
+		return "propagate"
+	case "/healthz":
+		return "healthz"
+	case "/readyz":
+		return "readyz"
+	case "/metrics":
+		return "metrics"
+	case "/debug/traces":
+		return "debug_traces"
+	default:
+		return "other"
+	}
+}
+
+// reqInfo is the per-request observability record: identity (trace ID,
+// route) plus the outcome facts the access log and the root span report.
+// It is written only by the request's handler goroutine; the flight
+// goroutine communicates through the apiResult instead.
+type reqInfo struct {
+	route   string
+	traceID string
+	// forced marks an inbound trace header: the caller asked for this
+	// trace, so the sampler always keeps it.
+	forced    bool
+	coalesced bool
+	cached    bool
+	degraded  bool
+	// link is the trace ID of the flight that actually computed the
+	// response, when it differs from this request's own (a coalesced
+	// waiter or a response-cache hit): the root span records it as
+	// link.trace_id, pointing at the leader's solve tree.
+	link string
+}
+
+// reqInfoKey indexes the reqInfo context value.
+type reqInfoKey struct{}
+
+// reqInfoFrom fetches the request record, or nil outside the middleware.
+func reqInfoFrom(ctx context.Context) *reqInfo {
+	ri, _ := ctx.Value(reqInfoKey{}).(*reqInfo)
+	return ri
+}
+
+// noteResultOrigin records where a result came from relative to this
+// request: a computing flight stamps every result with its own trace ID,
+// so a differing ID means another request's solve answered this one.
+func (ri *reqInfo) noteResultOrigin(res *apiResult, cached bool) {
+	if ri == nil {
+		return
+	}
+	if cached {
+		ri.cached = true
+	}
+	if res.traceID != "" && res.traceID != ri.traceID {
+		ri.link = res.traceID
+	}
+}
+
+// statusWriter captures the response status for the root span and the
+// access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// finishTrace closes a request's root span with the outcome attributes
+// and runs the sampling decision: sampled documents are snapshotted into
+// the /debug/traces ring, everything else just counts as dropped.
+func (s *Server) finishTrace(rt *obs.Tracer, root *obs.Span, info *reqInfo, status int) {
+	root.SetStr("route", info.route)
+	root.SetInt("status", int64(status))
+	if info.coalesced {
+		root.SetInt("coalesced", 1)
+	}
+	if info.cached {
+		root.SetInt("cached", 1)
+	}
+	if info.degraded {
+		root.SetInt("degraded", 1)
+	}
+	if info.link != "" {
+		root.SetStr("link.trace_id", info.link)
+	}
+	root.End()
+	if !s.sampleTrace(info, status) {
+		rt.Count(obs.CtrServeTracesDropped, 1)
+		return
+	}
+	doc := obs.Snapshot(rt, obs.Manifest{
+		Tool:    "gsuserve",
+		TraceID: info.traceID,
+		Route:   info.route,
+		Workers: s.cfg.Workers,
+	})
+	s.ring.push(doc)
+	rt.Count(obs.CtrServeTracesSampled, 1)
+}
+
+// sampleTrace decides whether one finished request's trace document is
+// retained: always for an inbound trace header (the caller asked) and
+// for server errors (the traces worth having when something breaks),
+// probabilistically otherwise.
+func (s *Server) sampleTrace(info *reqInfo, status int) bool {
+	if s.ring == nil {
+		return false
+	}
+	if info.forced || status >= http.StatusInternalServerError {
+		return true
+	}
+	return s.cfg.TraceSampleRate > 0 && rand.Float64() < s.cfg.TraceSampleRate
+}
+
+// logRequest emits one structured access-log record. The field
+// vocabulary (trace_id, route, method, status, dur_ms, degraded,
+// coalesced, cached, link_trace_id) is documented in
+// docs/OBSERVABILITY.md; nil Logger disables access logging entirely.
+func (s *Server) logRequest(r *http.Request, info *reqInfo, status int, d time.Duration) {
+	if s.logger == nil {
+		return
+	}
+	lvl := slog.LevelInfo
+	if status >= http.StatusInternalServerError {
+		lvl = slog.LevelError
+	}
+	attrs := []slog.Attr{
+		slog.String("trace_id", info.traceID),
+		slog.String("route", info.route),
+		slog.String("method", r.Method),
+		slog.Int("status", status),
+		slog.Int64("dur_ms", d.Milliseconds()),
+		slog.Bool("degraded", info.degraded),
+		slog.Bool("coalesced", info.coalesced),
+		slog.Bool("cached", info.cached),
+	}
+	if info.link != "" {
+		attrs = append(attrs, slog.String("link_trace_id", info.link))
+	}
+	s.logger.LogAttrs(r.Context(), lvl, "request", attrs...)
+}
